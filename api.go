@@ -1,0 +1,122 @@
+package driftclean
+
+import (
+	"fmt"
+
+	"driftclean/internal/core"
+	"driftclean/internal/eval"
+	"driftclean/internal/experiments"
+)
+
+// Re-exported pipeline types. Config aggregates every subsystem's
+// configuration; System is a built world+corpus+extraction; Analysis is
+// the per-KB-state artifact bundle (exclusions, seeds, features, tasks);
+// CleanResult reports a cleaning run.
+type (
+	Config       = core.Config
+	System       = core.System
+	Analysis     = core.Analysis
+	CleanResult  = core.CleanResult
+	DetectorKind = core.DetectorKind
+)
+
+// Detection methods (Table 4 of the paper).
+const (
+	// DetectMultiTask is the paper's method: semi-supervised multi-task
+	// Concept Adaptive Drift Detection (Algorithm 1).
+	DetectMultiTask = core.DetectMultiTask
+	// DetectSemiSupervised trains each concept separately with the
+	// manifold regularizer (Eq 15).
+	DetectSemiSupervised = core.DetectSemiSupervised
+	// DetectSupervised is the conventional per-concept Random Forest.
+	DetectSupervised = core.DetectSupervised
+	// DetectRidge is plain least squares on the KPCA representation.
+	DetectRidge = core.DetectRidge
+	// DetectAdHoc1..4 threshold a single DP feature.
+	DetectAdHoc1 = core.DetectAdHoc1
+	DetectAdHoc2 = core.DetectAdHoc2
+	DetectAdHoc3 = core.DetectAdHoc3
+	DetectAdHoc4 = core.DetectAdHoc4
+)
+
+// DefaultConfig returns the standard configuration: a mid-size synthetic
+// world whose extraction drifts the way Fig 5(a) of the paper shows.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Build generates the world and corpus and runs the iterative extraction
+// to its drifted fixpoint.
+func Build(cfg Config) *System { return core.Build(cfg) }
+
+// Report summarizes an end-to-end cleaning run.
+type Report struct {
+	// PrecisionBefore/After are KB precision over all concepts measured
+	// against the synthetic ground truth.
+	PrecisionBefore, PrecisionAfter float64
+	// PError, RError, PCorr, RCorr are the paper's four cleaning
+	// dimensions (Table 3), micro-aggregated over all concepts.
+	PError, RError, PCorr, RCorr float64
+	// PairsBefore/After count distinct isA pairs.
+	PairsBefore, PairsAfter int
+	// Rounds is the number of detect-and-clean rounds executed.
+	Rounds int
+	// System retains the built (and now cleaned) system for inspection.
+	System *System
+}
+
+// Clean runs the complete pipeline — build, detect DPs with the paper's
+// multi-task method, clean iteratively — and reports the outcome.
+func Clean(cfg Config) (*Report, error) {
+	return CleanWith(cfg, DetectMultiTask)
+}
+
+// CleanWith is Clean with an explicit detection method.
+func CleanWith(cfg Config, method DetectorKind) (*Report, error) {
+	sys := core.Build(cfg)
+	rep := &Report{
+		System:          sys,
+		PrecisionBefore: sys.Oracle.KBPrecision(sys.KB, nil),
+		PairsBefore:     sys.KB.NumPairs(),
+	}
+	cr, err := sys.CleanDPs(method)
+	if err != nil {
+		return nil, fmt.Errorf("driftclean: cleaning failed: %w", err)
+	}
+	rep.PrecisionAfter = sys.Oracle.KBPrecision(sys.KB, nil)
+	rep.PairsAfter = sys.KB.NumPairs()
+	rep.Rounds = len(cr.Clean.Rounds)
+	var per []eval.CleaningMetrics
+	for concept, before := range cr.BeforeInstances {
+		per = append(per, sys.Oracle.Cleaning(concept, before, sys.KB))
+	}
+	m := eval.MergeCleaning(per)
+	rep.PError, rep.RError, rep.PCorr, rep.RCorr = m.PError, m.RError, m.PCorr, m.RCorr
+	return rep, nil
+}
+
+// Experiment types re-exported from the experiments engine. An
+// ExperimentTable holds the rows/series one table or figure of the paper
+// reports; ExperimentOptions scales the run.
+type (
+	ExperimentTable   = experiments.Table
+	ExperimentOptions = experiments.Options
+	ExperimentRunner  = experiments.Runner
+)
+
+// DefaultExperimentOptions returns the standard experiment scale.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.Default() }
+
+// NewExperimentRunner builds the system once; its methods regenerate the
+// individual tables and figures.
+func NewExperimentRunner(opts ExperimentOptions) *ExperimentRunner {
+	return experiments.NewRunner(opts)
+}
+
+// ExperimentIDs lists the regenerable experiments in paper order:
+// table1..table5, fig2..fig4, fig5a..fig5c.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one experiment by ID on a fresh runner. For
+// several experiments, build a runner once with NewExperimentRunner.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentTable, error) {
+	return experiments.NewRunner(opts).ByID(id)
+}

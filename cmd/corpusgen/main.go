@@ -1,0 +1,66 @@
+// Command corpusgen emits a synthetic Hearst-pattern corpus to stdout or
+// a file, one sentence per line, for inspection or external tooling. With
+// -truth it appends each sentence's hidden ground truth as a comment.
+//
+// Usage:
+//
+//	corpusgen [-n N] [-seed N] [-domains N] [-o FILE] [-truth]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"driftclean/internal/corpus"
+	"driftclean/internal/world"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 10000, "number of sentences")
+		seed    = flag.Int64("seed", 1, "world seed (corpus seed derives from it)")
+		domains = flag.Int("domains", 8, "number of generated concept domains")
+		out     = flag.String("o", "", "output file (default stdout)")
+		truth   = flag.Bool("truth", false, "append ground-truth annotations")
+	)
+	flag.Parse()
+
+	wcfg := world.DefaultConfig()
+	wcfg.Seed = *seed
+	wcfg.NumDomains = *domains
+	w := world.New(wcfg)
+
+	ccfg := corpus.DefaultConfig()
+	ccfg.Seed = *seed + 1
+	ccfg.NumSentences = *n
+	c := corpus.Generate(w, ccfg)
+
+	var dst *bufio.Writer
+	if *out == "" {
+		dst = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corpusgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = bufio.NewWriter(f)
+	}
+	defer dst.Flush()
+
+	for _, s := range c.Sentences {
+		dst.WriteString(s.Text)
+		if *truth {
+			tr := c.Truth(s.ID)
+			fmt.Fprintf(dst, "\t# kind=%s concept=%s", tr.Kind, tr.TrueConcept)
+			if len(tr.WrongInstances) > 0 {
+				fmt.Fprintf(dst, " wrong=%s", strings.Join(tr.WrongInstances, ","))
+			}
+		}
+		dst.WriteByte('\n')
+	}
+}

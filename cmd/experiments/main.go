@@ -1,0 +1,72 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (Sec 5) on the synthetic substrate.
+//
+// Usage:
+//
+//	experiments [-run all|table1|...|fig5c] [-sentences N] [-seed N]
+//	            [-eval N] [-csv DIR]
+//
+// Text tables go to stdout; -csv additionally writes one CSV per
+// experiment into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"driftclean"
+)
+
+func main() {
+	var (
+		run       = flag.String("run", "all", "experiment id or 'all': "+strings.Join(driftclean.ExperimentIDs(), ","))
+		sentences = flag.Int("sentences", 120000, "number of corpus sentences")
+		seed      = flag.Int64("seed", 1, "world seed")
+		evalN     = flag.Int("eval", 20, "number of evaluation concepts (the paper uses 20)")
+		csvDir    = flag.String("csv", "", "directory to write per-experiment CSV files")
+	)
+	flag.Parse()
+
+	opts := driftclean.DefaultExperimentOptions()
+	opts.Core.World.Seed = *seed
+	opts.Core.Corpus.Seed = *seed + 1
+	opts.Core.Corpus.NumSentences = *sentences
+	opts.EvalConcepts = *evalN
+
+	ids := driftclean.ExperimentIDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building system (%d sentences)...\n", *sentences)
+	runner := driftclean.NewExperimentRunner(opts)
+	fmt.Fprintf(os.Stderr, "system ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	for _, id := range ids {
+		t0 := time.Now()
+		tab, err := runner.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", tab.ID, time.Since(t0).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, tab.ID+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,97 @@
+// Command kbquery explores a saved knowledge base (see driftclean
+// -savekb): list concepts, list a concept's instances, trace the
+// provenance of a pair back to its core evidence, and rank the most
+// drift-suspicious instances by provenance depth.
+//
+// Usage:
+//
+//	kbquery -kb FILE <command> [args]
+//
+// Commands:
+//
+//	stats                     aggregate KB statistics
+//	concepts                  list concepts with instance counts
+//	instances <concept>       list a concept's instances with counts
+//	explain <concept> <inst>  provenance of one isA pair
+//	drifted <concept> [n]     the n deepest provenance chains (default 10)
+//	subs <concept> <inst>     sub-instances triggered by an instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"driftclean/internal/kb"
+)
+
+func main() {
+	kbPath := flag.String("kb", "", "path to a KB snapshot written with -savekb")
+	flag.Parse()
+	if *kbPath == "" || flag.NArg() == 0 {
+		usage()
+	}
+	k, err := kb.LoadFile(*kbPath)
+	if err != nil {
+		fail("loading %s: %v", *kbPath, err)
+	}
+	args := flag.Args()
+	switch args[0] {
+	case "stats":
+		s := k.Stats()
+		fmt.Printf("concepts: %d\npairs:    %d\ncounts:   %d\nactive extractions: %d\n",
+			s.Concepts, s.DistinctPairs, s.TotalCount, s.ActiveExtractions)
+	case "concepts":
+		for _, c := range k.Concepts() {
+			fmt.Printf("%-30s %d instances\n", c, len(k.Instances(c)))
+		}
+	case "instances":
+		requireArgs(args, 2)
+		for _, e := range k.Instances(args[1]) {
+			fmt.Printf("%-30s count=%d subs=%d\n", e, k.Count(args[1], e), len(k.SubInstances(args[1], e)))
+		}
+	case "explain":
+		requireArgs(args, 3)
+		ex, ok := k.Explain(args[1], args[2], 5)
+		if !ok {
+			fail("pair (%s isA %s) not in the KB", args[2], args[1])
+		}
+		fmt.Print(ex.Format())
+	case "drifted":
+		requireArgs(args, 2)
+		n := 10
+		if len(args) > 2 {
+			if v, err := strconv.Atoi(args[2]); err == nil {
+				n = v
+			}
+		}
+		depth := k.DriftDepth(args[1])
+		for _, e := range k.TopDrifted(args[1], n) {
+			fmt.Printf("%-30s chain depth %d\n", e, depth[e])
+		}
+	case "subs":
+		requireArgs(args, 3)
+		for _, s := range k.SubInstances(args[1], args[2]) {
+			fmt.Printf("%-30s count=%d\n", s, k.Count(args[1], s))
+		}
+	default:
+		usage()
+	}
+}
+
+func requireArgs(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: kbquery -kb FILE stats|concepts|instances C|explain C E|drifted C [n]|subs C E")
+	os.Exit(2)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kbquery: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a drifted knowledge base and clean it with the
+// paper's DP-based method, in under a minute.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"driftclean"
+)
+
+func main() {
+	// The default configuration generates a synthetic world (concepts,
+	// instances, polysemy), a Hearst-pattern web corpus, and runs the
+	// semantic-based iterative extractor — which drifts, exactly like the
+	// paper's Fig 5(a). Scale it down a little for a fast demo.
+	cfg := driftclean.DefaultConfig()
+	cfg.World.NumDomains = 4
+	cfg.Corpus.NumSentences = 40000
+
+	fmt.Println("building world, corpus and drifted extraction...")
+	report, err := driftclean.Clean(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("isA pairs:   %d before, %d after cleaning\n",
+		report.PairsBefore, report.PairsAfter)
+	fmt.Printf("precision:   %.1f%% -> %.1f%%\n",
+		100*report.PrecisionBefore, 100*report.PrecisionAfter)
+	fmt.Printf("removal:     %.1f%% of removed pairs were real errors (perror)\n",
+		100*report.PError)
+	fmt.Printf("coverage:    %.1f%% of all errors were removed (rerror)\n",
+		100*report.RError)
+	fmt.Printf("collateral:  %.1f%% of correct pairs survived (rcorr)\n",
+		100*report.RCorr)
+	fmt.Printf("rounds:      %d detect-and-clean rounds\n", report.Rounds)
+
+	// The cleaned system stays available for inspection.
+	sys := report.System
+	fmt.Printf("\nconcepts in the cleaned KB: %d\n", len(sys.KB.Concepts()))
+	fmt.Printf("animals now include: %v ...\n", head(sys.KB.Instances("animal"), 8))
+}
+
+func head(xs []string, n int) []string {
+	if len(xs) < n {
+		return xs
+	}
+	return xs[:n]
+}

@@ -1,0 +1,75 @@
+// Webscale: a larger run that shows the drift dynamics the paper reports
+// at web scale (Fig 5a): pair volume multiplying across iterations while
+// precision decays, then recovering after DP cleaning. Also reports
+// throughput figures for each pipeline stage.
+//
+//	go run ./examples/webscale [-sentences N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"driftclean"
+)
+
+func main() {
+	sentences := flag.Int("sentences", 200000, "corpus size")
+	flag.Parse()
+
+	cfg := driftclean.DefaultConfig()
+	cfg.World.NumDomains = 10
+	cfg.Corpus.NumSentences = *sentences
+	cfg.Clean.MaxRounds = 3
+
+	t0 := time.Now()
+	sys := driftclean.Build(cfg)
+	buildTime := time.Since(t0)
+
+	fmt.Printf("corpus: %d sentences, extracted %d distinct pairs in %d iterations (%v, %.0f sentences/s)\n",
+		sys.Corpus.Len(), sys.KB.NumPairs(), sys.Extraction.Iterations,
+		buildTime.Round(time.Millisecond),
+		float64(sys.Corpus.Len())/buildTime.Seconds())
+
+	fmt.Println("\niteration  pairs    precision   (the paper's Fig 5a shape)")
+	for _, it := range sys.Extraction.PerIteration {
+		prec := precisionUpTo(sys, it.Iteration)
+		fmt.Printf("%9d  %7d  %.3f  %s\n", it.Iteration, it.DistinctPairs, prec, bar(prec))
+	}
+
+	t1 := time.Now()
+	if _, err := sys.CleanDPs(driftclean.DetectMultiTask); err != nil {
+		log.Fatal(err)
+	}
+	cleanTime := time.Since(t1)
+	final := sys.Oracle.KBPrecision(sys.KB, nil)
+	fmt.Printf("\nafter DP cleaning: %d pairs, precision %.3f %s (%v)\n",
+		sys.KB.NumPairs(), final, bar(final), cleanTime.Round(time.Millisecond))
+}
+
+func precisionUpTo(sys *driftclean.System, iter int) float64 {
+	correct, total := 0, 0
+	for _, c := range sys.KB.Concepts() {
+		for _, e := range sys.KB.InstancesAtIteration(c, iter) {
+			total++
+			if sys.Oracle.PairCorrect(c, e) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func bar(v float64) string {
+	n := int(v * 40)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

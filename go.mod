@@ -1,0 +1,3 @@
+module driftclean
+
+go 1.22

@@ -1,0 +1,295 @@
+// Package baseline implements the four cleaning methods the paper
+// compares against in Table 3:
+//
+//   - MEx — Mutual Exclusion cleaning (Curran et al., PACLING 2007):
+//     remove a pair when its instance is better supported under a
+//     mutually exclusive concept;
+//   - TCh — Type Checking (Pasca et al. 2006; Carlson et al. 2010): the
+//     paper runs Stanford NER; we substitute a partial gazetteer carried
+//     by the synthetic world (DESIGN.md §1) and remove pairs whose
+//     instance type contradicts the concept's majority type;
+//   - PRDual-Rank (Fang & Chang, WSDM 2011): precision scores propagated
+//     between pairs and the sentences that support them, thresholded;
+//   - RW-Rank: the same thresholding, with the random-walk model as the
+//     scorer.
+//
+// The ranking baselines learn their thresholds from the seed-evidence
+// labels (evidenced-correct pairs should be kept, evidenced-incorrect
+// removed) — the paper's "well-learned thresholds". None of the baselines
+// sees ground truth.
+package baseline
+
+import (
+	"sort"
+
+	"driftclean/internal/kb"
+	"driftclean/internal/mutex"
+	"driftclean/internal/seedlabel"
+	"driftclean/internal/world"
+)
+
+// MEx removes (C, e) when some mutually exclusive concept C' holds e with
+// strictly greater support — the instance "belongs" to the other side.
+//
+// Faithful to the method the paper compares against, exclusion knowledge
+// is restricted to *pre-identified* concept pairs: curated lists the
+// concepts whose pairwise exclusions are known in advance (the paper's
+// "cities"/"politicians" examples). That prior-knowledge requirement is
+// exactly why the baseline's recall collapses at millions of concepts.
+// A nil curated set means full knowledge of all discovered exclusions —
+// the ablation variant.
+func MEx(k *kb.KB, mx *mutex.Analysis, concepts, curated []string) []kb.Pair {
+	inCurated := func(string) bool { return true }
+	if curated != nil {
+		set := make(map[string]bool, len(curated))
+		for _, c := range curated {
+			set[c] = true
+		}
+		inCurated = func(c string) bool { return set[c] }
+	}
+	var removed []kb.Pair
+	for _, c := range concepts {
+		if !inCurated(c) {
+			continue
+		}
+		for _, e := range k.Instances(c) {
+			myCount := k.Count(c, e)
+			for _, other := range k.ConceptsOfInstance(e) {
+				if other == c || !inCurated(other) || !mx.Exclusive(c, other) {
+					continue
+				}
+				if k.Count(other, e) > myCount {
+					removed = append(removed, kb.Pair{Concept: c, Instance: e})
+					break
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// TypeCheck removes (C, e) when the gazetteer knows e's type and it
+// differs from the concept's majority core type. Gazetteer coverage is
+// partial, which reproduces the paper's observed TCh profile: precise but
+// low recall.
+func TypeCheck(k *kb.KB, w *world.World, concepts []string) []kb.Pair {
+	var removed []kb.Pair
+	for _, c := range concepts {
+		ctype, ok := conceptType(k, w, c)
+		if !ok {
+			continue
+		}
+		for _, e := range k.Instances(c) {
+			etype, known := w.NERType(e)
+			if known && etype != ctype {
+				removed = append(removed, kb.Pair{Concept: c, Instance: e})
+			}
+		}
+	}
+	return removed
+}
+
+// conceptType infers a concept's expected type as the majority gazetteer
+// type among its core instances (no ground truth involved).
+func conceptType(k *kb.KB, w *world.World, concept string) (int, bool) {
+	counts := map[int]int{}
+	for _, e := range k.InstancesAtIteration(concept, 1) {
+		if t, ok := w.NERType(e); ok {
+			counts[t] += k.Count(concept, e)
+		}
+	}
+	best, bestN, total := -1, 0, 0
+	for t, n := range counts {
+		total += n
+		if n > bestN || (n == bestN && t < best) {
+			best, bestN = t, n
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// PRConfig controls the ranking baselines.
+type PRConfig struct {
+	// Iterations of score propagation.
+	Iterations int
+	// Prior is the initial score of unlabeled pairs.
+	Prior float64
+	// FallbackQuantile is the removal threshold when a concept has no
+	// evidence labels to learn one from.
+	FallbackQuantile float64
+}
+
+// DefaultPRConfig returns the experiment settings.
+func DefaultPRConfig() PRConfig {
+	return PRConfig{Iterations: 10, Prior: 0.5, FallbackQuantile: 0.3}
+}
+
+// PRDualRank scores each pair by propagating precision estimates between
+// pairs and their supporting extractions (the paper's tuple↔pattern
+// duality mapped onto pairs↔sentences), then removes pairs below a
+// per-concept learned threshold.
+func PRDualRank(k *kb.KB, lab *seedlabel.Labeler, concepts []string, cfg PRConfig) []kb.Pair {
+	if cfg.Iterations <= 0 {
+		cfg = DefaultPRConfig()
+	}
+	var removed []kb.Pair
+	for _, c := range concepts {
+		scores := prScores(k, lab, c, cfg)
+		removed = append(removed, thresholdRemove(k, lab, c, scores, cfg.FallbackQuantile)...)
+	}
+	return removed
+}
+
+func prScores(k *kb.KB, lab *seedlabel.Labeler, concept string, cfg PRConfig) map[string]float64 {
+	insts := k.Instances(concept)
+	pairScore := make(map[string]float64, len(insts))
+	seeded := make(map[string]bool, len(insts))
+	for _, e := range insts {
+		if lab.EvidencedCorrect(concept, e) {
+			pairScore[e] = 1
+			seeded[e] = true
+		} else {
+			pairScore[e] = cfg.Prior
+		}
+	}
+	// Collect the active extractions per instance once.
+	type ext struct{ instances []string }
+	extByID := map[int]*ext{}
+	pairExts := map[string][]int{}
+	for _, e := range insts {
+		info := k.Info(concept, e)
+		if info == nil {
+			continue
+		}
+		for _, exID := range info.Extractions {
+			x := k.Extraction(exID)
+			if !x.Active || x.Concept != concept {
+				continue
+			}
+			if extByID[exID] == nil {
+				extByID[exID] = &ext{instances: x.Instances}
+			}
+			pairExts[e] = append(pairExts[e], exID)
+		}
+	}
+	extScore := map[int]float64{}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// Sentence precision = mean of its pairs' precision.
+		for id, x := range extByID {
+			var s float64
+			n := 0
+			for _, e := range x.instances {
+				if v, ok := pairScore[e]; ok {
+					s += v
+					n++
+				}
+			}
+			if n > 0 {
+				extScore[id] = s / float64(n)
+			}
+		}
+		// Pair precision = mean of its sentences' precision; seeds stay 1.
+		for _, e := range insts {
+			if seeded[e] {
+				continue
+			}
+			exts := pairExts[e]
+			if len(exts) == 0 {
+				continue
+			}
+			var s float64
+			for _, id := range exts {
+				s += extScore[id]
+			}
+			pairScore[e] = s / float64(len(exts))
+		}
+	}
+	return pairScore
+}
+
+// RWRank removes pairs whose random-walk score falls below a per-concept
+// learned threshold.
+func RWRank(k *kb.KB, lab *seedlabel.Labeler, concepts []string, scoresOf func(string) map[string]float64, fallbackQuantile float64) []kb.Pair {
+	if fallbackQuantile <= 0 {
+		fallbackQuantile = DefaultPRConfig().FallbackQuantile
+	}
+	var removed []kb.Pair
+	for _, c := range concepts {
+		removed = append(removed, thresholdRemove(k, lab, c, scoresOf(c), fallbackQuantile)...)
+	}
+	return removed
+}
+
+// thresholdRemove learns the removal threshold that maximizes F1 of
+// error-removal on the concept's evidence labels, then removes all pairs
+// scoring at or below it.
+func thresholdRemove(k *kb.KB, lab *seedlabel.Labeler, concept string, scores map[string]float64, fallbackQuantile float64) []kb.Pair {
+	insts := k.Instances(concept)
+	type pt struct {
+		score   float64
+		labeled bool
+		isError bool
+	}
+	pts := make([]pt, len(insts))
+	for i, e := range insts {
+		pts[i] = pt{
+			score:   scores[e],
+			labeled: lab.EvidencedCorrect(concept, e) || lab.EvidencedIncorrect(concept, e),
+			isError: lab.EvidencedIncorrect(concept, e),
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].score < pts[j].score })
+
+	nLabeled, nErrors := 0, 0
+	for _, p := range pts {
+		if p.labeled {
+			nLabeled++
+			if p.isError {
+				nErrors++
+			}
+		}
+	}
+	var thresh float64
+	if nErrors > 0 && nErrors < nLabeled {
+		bestF1 := -1.0
+		tp, fp := 0, 0
+		// Sweep: removing everything at or below pts[i].score.
+		for i := 0; i < len(pts); i++ {
+			if pts[i].labeled {
+				if pts[i].isError {
+					tp++
+				} else {
+					fp++
+				}
+			}
+			if i+1 < len(pts) && pts[i+1].score == pts[i].score {
+				continue
+			}
+			fn := nErrors - tp
+			if tp > 0 {
+				p := float64(tp) / float64(tp+fp)
+				r := float64(tp) / float64(tp+fn)
+				if f1 := 2 * p * r / (p + r); f1 > bestF1 {
+					bestF1, thresh = f1, pts[i].score
+				}
+			}
+		}
+	} else if len(pts) > 0 {
+		// No usable labels: remove the lowest quantile.
+		idx := int(float64(len(pts)) * fallbackQuantile)
+		if idx >= len(pts) {
+			idx = len(pts) - 1
+		}
+		thresh = pts[idx].score
+	}
+	var removed []kb.Pair
+	for _, e := range insts {
+		if scores[e] <= thresh {
+			removed = append(removed, kb.Pair{Concept: concept, Instance: e})
+		}
+	}
+	return removed
+}

@@ -1,0 +1,150 @@
+package baseline
+
+import (
+	"testing"
+
+	"driftclean/internal/corpus"
+	"driftclean/internal/eval"
+	"driftclean/internal/extract"
+	"driftclean/internal/kb"
+	"driftclean/internal/mutex"
+	"driftclean/internal/rank"
+	"driftclean/internal/seedlabel"
+	"driftclean/internal/world"
+)
+
+type pipeline struct {
+	w   *world.World
+	c   *corpus.Corpus
+	k   *kb.KB
+	mx  *mutex.Analysis
+	lab *seedlabel.Labeler
+	o   *eval.Oracle
+}
+
+func buildPipeline(t testing.TB) *pipeline {
+	t.Helper()
+	wcfg := world.DefaultConfig()
+	wcfg.NumDomains = 3
+	wcfg.InstancesPerConceptMin = 60
+	wcfg.InstancesPerConceptMax = 120
+	w := world.New(wcfg)
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumSentences = 30000
+	c := corpus.Generate(w, ccfg)
+	res := extract.Run(c, extract.DefaultConfig())
+	mx := mutex.Analyze(res.KB, mutex.DefaultConfig())
+	return &pipeline{
+		w:   w,
+		c:   c,
+		k:   res.KB,
+		mx:  mx,
+		lab: seedlabel.New(res.KB, mx, seedlabel.DefaultConfig()),
+		o:   eval.NewOracle(w, c),
+	}
+}
+
+func metricsFor(p *pipeline, concepts []string, removed []kb.Pair) eval.CleaningMetrics {
+	removedSet := map[string]map[string]bool{}
+	for _, r := range removed {
+		if removedSet[r.Concept] == nil {
+			removedSet[r.Concept] = map[string]bool{}
+		}
+		removedSet[r.Concept][r.Instance] = true
+	}
+	var per []eval.CleaningMetrics
+	for _, c := range concepts {
+		per = append(per, p.o.CleaningRemovedSet(c, p.k.Instances(c), removedSet[c]))
+	}
+	return eval.MergeCleaning(per)
+}
+
+func TestMExHighPrecisionLowRecall(t *testing.T) {
+	p := buildPipeline(t)
+	concepts := p.k.Concepts()
+	// Pre-identified exclusion knowledge covers only a handful of
+	// curated popular concepts, as in the method the paper compares.
+	curated := p.w.EvaluationConcepts(6)
+	removed := MEx(p.k, p.mx, concepts, curated)
+	if len(removed) == 0 {
+		t.Fatal("MEx removed nothing")
+	}
+	m := metricsFor(p, concepts, removed)
+	t.Logf("MEx: perror=%.3f rerror=%.3f pcorr=%.3f rcorr=%.3f removed=%d",
+		m.PError, m.RError, m.PCorr, m.RCorr, m.Removed)
+	if m.PError < 0.7 {
+		t.Errorf("MEx perror %.3f, want high (paper: 0.91)", m.PError)
+	}
+	if m.RError > 0.6 {
+		t.Errorf("MEx rerror %.3f, want low (paper: 0.16)", m.RError)
+	}
+}
+
+func TestTypeCheckHighPrecisionLowRecall(t *testing.T) {
+	p := buildPipeline(t)
+	concepts := p.k.Concepts()
+	removed := TypeCheck(p.k, p.w, concepts)
+	if len(removed) == 0 {
+		t.Fatal("TypeCheck removed nothing")
+	}
+	m := metricsFor(p, concepts, removed)
+	t.Logf("TCh: perror=%.3f rerror=%.3f pcorr=%.3f rcorr=%.3f removed=%d",
+		m.PError, m.RError, m.PCorr, m.RCorr, m.Removed)
+	if m.PError < 0.7 {
+		t.Errorf("TCh perror %.3f, want high (paper: 0.94)", m.PError)
+	}
+	if m.RError > 0.6 {
+		t.Errorf("TCh rerror %.3f, want low (paper: 0.15)", m.RError)
+	}
+}
+
+func TestPRDualRankHigherRecallLowerPrecision(t *testing.T) {
+	p := buildPipeline(t)
+	concepts := p.k.Concepts()
+	removed := PRDualRank(p.k, p.lab, concepts, DefaultPRConfig())
+	if len(removed) == 0 {
+		t.Fatal("PRDualRank removed nothing")
+	}
+	m := metricsFor(p, concepts, removed)
+	mex := metricsFor(p, concepts, MEx(p.k, p.mx, concepts, p.w.EvaluationConcepts(6)))
+	t.Logf("PRDual: perror=%.3f rerror=%.3f (MEx rerror=%.3f)", m.PError, m.RError, mex.RError)
+	if m.RError <= mex.RError {
+		t.Errorf("PRDual rerror %.3f should exceed MEx %.3f (paper: 0.65 vs 0.16)", m.RError, mex.RError)
+	}
+}
+
+func TestRWRankRemoves(t *testing.T) {
+	p := buildPipeline(t)
+	concepts := p.k.Concepts()
+	scoresOf := func(c string) map[string]float64 {
+		return rank.RandomWalk(rank.BuildGraph(p.k, c), rank.DefaultConfig())
+	}
+	removed := RWRank(p.k, p.lab, concepts, scoresOf, 0)
+	if len(removed) == 0 {
+		t.Fatal("RWRank removed nothing")
+	}
+	m := metricsFor(p, concepts, removed)
+	t.Logf("RWRank: perror=%.3f rerror=%.3f", m.PError, m.RError)
+	if m.RError < 0.2 {
+		t.Errorf("RWRank rerror %.3f, want substantial (paper: 0.58)", m.RError)
+	}
+}
+
+func TestConceptTypeInference(t *testing.T) {
+	p := buildPipeline(t)
+	tp, ok := conceptType(p.k, p.w, "animal")
+	if !ok {
+		t.Fatal("animal concept type not inferred")
+	}
+	if tp != p.w.Concept("animal").ID {
+		t.Errorf("animal type %d, want concept ID %d", tp, p.w.Concept("animal").ID)
+	}
+}
+
+func TestMExEmptyKB(t *testing.T) {
+	k := kb.New()
+	mx := mutex.Analyze(k, mutex.DefaultConfig())
+	if got := MEx(k, mx, nil, nil); len(got) != 0 {
+		t.Errorf("MEx on empty KB = %v", got)
+	}
+}

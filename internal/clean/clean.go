@@ -1,0 +1,218 @@
+// Package clean implements DP-based drifting-error cleaning (Sec 4).
+//
+// Accidental DPs are erroneous extractions themselves: the pair is
+// removed outright and every extraction it enabled is rolled back through
+// the KB's cascade (Sec 4.2). Intentional DPs are correct instances, so
+// only the *extractions they triggered* are examined: each such sentence
+// is re-scored with the probabilistic model of Eq 21 over all its
+// candidate concepts, and extractions whose chosen concept is not the
+// argmax are rolled back (Sec 4.1).
+//
+// Cleaning is iterated — removing early-iteration DPs exposes and/or
+// removes later ones — until a round finds nothing to do (Sec 4.2).
+package clean
+
+import (
+	"sort"
+
+	"driftclean/internal/dp"
+	"driftclean/internal/kb"
+	"driftclean/internal/rank"
+)
+
+// Labels maps concept -> instance -> detected DP label. Entries with
+// non-DP labels are ignored.
+type Labels map[string]map[string]dp.Label
+
+// DetectFunc produces DP labels for the current KB state; it is invoked
+// once per cleaning round.
+type DetectFunc func(k *kb.KB) Labels
+
+// Config controls the cleaning loop.
+type Config struct {
+	// MaxRounds bounds detect-clean rounds.
+	MaxRounds int
+	// Walk configures the random-walk scores behind Eq 21.
+	Walk rank.Config
+	// DropAllIntentional replaces the Eq 21 check with a drop-all policy
+	// for Intentional-DP-triggered extractions (ablation: "drop-all vs
+	// Eq 21").
+	DropAllIntentional bool
+	// DisableCascade removes Accidental-DP pairs without rolling back
+	// the extractions they enabled (ablation: "one-shot removal vs the
+	// Sec 4.2 cascade").
+	DisableCascade bool
+}
+
+// DefaultConfig returns the standard cleaning configuration.
+func DefaultConfig() Config {
+	return Config{MaxRounds: 5, Walk: rank.DefaultConfig()}
+}
+
+// RoundResult reports one cleaning round.
+type RoundResult struct {
+	Round              int
+	AccidentalDPs      int
+	IntentionalDPs     int
+	ExtractionsChecked int
+	ExtractionsFlagged int
+	PairsRemoved       int
+	ExtractionsRolled  int
+}
+
+// Result aggregates a full cleaning run.
+type Result struct {
+	Rounds []RoundResult
+	// TotalPairsRemoved counts distinct pair removals across rounds.
+	TotalPairsRemoved      int
+	TotalExtractionsRolled int
+}
+
+// Run executes the iterative DP-cleaning loop: detect DPs, clean their
+// effects, repeat until no DPs are found or MaxRounds is reached. The KB
+// is modified in place.
+func Run(k *kb.KB, detect DetectFunc, cfg Config) *Result {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultConfig().MaxRounds
+	}
+	if cfg.Walk.MaxIter == 0 {
+		cfg.Walk = rank.DefaultConfig()
+	}
+	res := &Result{}
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		labels := detect(k)
+		rr := CleanRound(k, labels, cfg)
+		rr.Round = round
+		if rr.AccidentalDPs == 0 && rr.IntentionalDPs == 0 {
+			break
+		}
+		res.Rounds = append(res.Rounds, rr)
+		res.TotalPairsRemoved += rr.PairsRemoved
+		res.TotalExtractionsRolled += rr.ExtractionsRolled
+		if rr.PairsRemoved == 0 && rr.ExtractionsRolled == 0 {
+			break // detected DPs produced no change; a fixpoint
+		}
+	}
+	return res
+}
+
+// CleanRound applies one round of cleaning for the given DP labels.
+func CleanRound(k *kb.KB, labels Labels, cfg Config) RoundResult {
+	var rr RoundResult
+	// Deterministic concept order.
+	concepts := make([]string, 0, len(labels))
+	for c := range labels {
+		concepts = append(concepts, c)
+	}
+	sort.Strings(concepts)
+
+	// Phase 1: Intentional DPs — check their triggered extractions with
+	// Eq 21 and roll back losers. Run before Accidental removal so the
+	// walk scores still reflect the full graph.
+	scoreCache := map[string]rank.Scores{}
+	scoresOf := func(concept string) rank.Scores {
+		if s, ok := scoreCache[concept]; ok {
+			return s
+		}
+		s := rank.RandomWalk(rank.BuildGraph(k, concept), cfg.Walk)
+		scoreCache[concept] = s
+		return s
+	}
+	var flagged []int
+	for _, concept := range concepts {
+		for instance, lbl := range labels[concept] {
+			if lbl != dp.Intentional {
+				continue
+			}
+			rr.IntentionalDPs++
+			exts := k.TriggeredExtractions(concept, instance)
+			for _, exID := range exts {
+				ex := k.Extraction(exID)
+				if !ex.Active || ex.Concept != concept {
+					continue
+				}
+				rr.ExtractionsChecked++
+				if cfg.DropAllIntentional || !ExtractionPassesCheck(k, ex, scoresOf) {
+					flagged = append(flagged, exID)
+				}
+			}
+		}
+	}
+	flagged = dedupInts(flagged)
+	rr.ExtractionsFlagged = len(flagged)
+	rb := k.RollbackExtractions(flagged)
+	rr.PairsRemoved += len(rb.PairsRemoved)
+	rr.ExtractionsRolled += rb.ExtractionsRolled
+
+	// Phase 2: Accidental DPs — drop the pairs and cascade.
+	var drop []kb.Pair
+	for _, concept := range concepts {
+		for instance, lbl := range labels[concept] {
+			if lbl != dp.Accidental {
+				continue
+			}
+			rr.AccidentalDPs++
+			drop = append(drop, kb.Pair{Concept: concept, Instance: instance})
+		}
+	}
+	var rb2 kb.RollbackResult
+	if cfg.DisableCascade {
+		rb2 = k.RemovePairsNoCascade(drop)
+	} else {
+		rb2 = k.RemovePairs(drop)
+	}
+	rr.PairsRemoved += len(rb2.PairsRemoved)
+	rr.ExtractionsRolled += rb2.ExtractionsRolled
+	return rr
+}
+
+// ExtractionPassesCheck evaluates Eq 21 for one extraction: it returns
+// true when the extraction's chosen concept attains the highest
+// Score(s, C) among the sentence's candidate concepts.
+func ExtractionPassesCheck(k *kb.KB, ex *kb.Extraction, scoresOf func(string) rank.Scores) bool {
+	if len(ex.Candidates) < 2 {
+		return true // nothing to re-decide
+	}
+	best, bestScore := "", -1.0
+	for _, c := range ex.Candidates {
+		s := SentenceScore(ex.Instances, c, ex.Candidates, scoresOf)
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best == ex.Concept
+}
+
+// SentenceScore computes Eq 21:
+//
+//	Score(s, C) = Σ_{e'∈Es} score(C, e') / Σ_{C'∈Cs} score(C', e')
+//
+// Instances unknown to every candidate contribute nothing.
+func SentenceScore(instances []string, concept string, candidates []string, scoresOf func(string) rank.Scores) float64 {
+	var total float64
+	for _, e := range instances {
+		var denom float64
+		for _, c := range candidates {
+			denom += scoresOf(c)[e]
+		}
+		if denom <= 0 {
+			continue
+		}
+		total += scoresOf(concept)[e] / denom
+	}
+	return total
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]struct{}, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,501 @@
+// Package core orchestrates the full system of the paper: synthetic
+// world → Hearst corpus → semantic-based iterative extraction (which
+// drifts) → mutual-exclusion discovery → seed labeling → feature
+// extraction → KPCA → DP detection → DP-based cleaning. It is the engine
+// behind the public driftclean API, the experiments, and the CLIs.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"driftclean/internal/clean"
+	"driftclean/internal/corpus"
+	"driftclean/internal/dp"
+	"driftclean/internal/eval"
+	"driftclean/internal/extract"
+	"driftclean/internal/feature"
+	"driftclean/internal/kb"
+	"driftclean/internal/kpca"
+	"driftclean/internal/learn"
+	"driftclean/internal/linalg"
+	"driftclean/internal/mutex"
+	"driftclean/internal/seedlabel"
+	"driftclean/internal/world"
+)
+
+// Config assembles the configuration of every subsystem.
+type Config struct {
+	World     world.Config
+	Corpus    corpus.Config
+	Extract   extract.Config
+	Mutex     mutex.Config
+	Seed      seedlabel.Config
+	KPCA      kpca.Config
+	MultiTask learn.MultiTaskConfig
+	Forest    learn.ForestConfig
+	Clean     clean.Config
+
+	// MinTaskInstances skips DP detection for concepts with fewer
+	// instances (they have too little signal and, per the paper, often no
+	// mutually exclusive concepts either).
+	MinTaskInstances int
+	// KPCAFitCap bounds the number of points used to fit each concept's
+	// kernel PCA (all labeled points are always included); the rest are
+	// projected afterwards.
+	KPCAFitCap int
+	// SharedDim is the common KPCA dimensionality all tasks are padded
+	// to for multi-task training.
+	SharedDim int
+}
+
+// DefaultConfig returns the configuration used across the experiments:
+// a mid-size world and corpus that run in seconds while exhibiting the
+// paper's drift dynamics.
+func DefaultConfig() Config {
+	return Config{
+		World:            world.DefaultConfig(),
+		Corpus:           corpus.DefaultConfig(),
+		Extract:          extract.DefaultConfig(),
+		Mutex:            mutex.DefaultConfig(),
+		Seed:             seedlabel.DefaultConfig(),
+		KPCA:             kpca.DefaultConfig(),
+		MultiTask:        learn.DefaultMultiTaskConfig(),
+		Forest:           learn.DefaultForestConfig(),
+		Clean:            clean.DefaultConfig(),
+		MinTaskInstances: 8,
+		KPCAFitCap:       200,
+		SharedDim:        12,
+	}
+}
+
+// System holds the built substrate: the world, the corpus and the
+// (drifted) extraction result.
+type System struct {
+	Cfg        Config
+	World      *world.World
+	Corpus     *corpus.Corpus
+	Extraction *extract.Result
+	KB         *kb.KB
+	Oracle     *eval.Oracle
+}
+
+// Build generates the world and corpus and runs the iterative extraction.
+func Build(cfg Config) *System {
+	w := world.New(cfg.World)
+	c := corpus.Generate(w, cfg.Corpus)
+	res := extract.Run(c, cfg.Extract)
+	return &System{
+		Cfg:        cfg,
+		World:      w,
+		Corpus:     c,
+		Extraction: res,
+		KB:         res.KB,
+		Oracle:     eval.NewOracle(w, c),
+	}
+}
+
+// Analysis bundles the per-KB-state analysis artifacts.
+type Analysis struct {
+	Mutex    *mutex.Analysis
+	Labeler  *seedlabel.Labeler
+	Features *feature.Extractor
+	// Tasks holds one learning task per analyzable concept, padded to the
+	// shared dimensionality; Concepts lists them in task order.
+	Tasks    []*learn.Task
+	Concepts []string
+}
+
+// Analyze runs mutual-exclusion discovery, seed labeling, feature
+// extraction and KPCA over the current state of the given KB (use
+// sys.KB, or a KB mid-cleaning). Per-concept work (random walks,
+// features, KPCA) is fanned out across CPUs; results are deterministic
+// regardless of parallelism.
+func (s *System) Analyze(k *kb.KB) (*Analysis, error) {
+	a := &Analysis{
+		Mutex: mutex.Analyze(k, s.Cfg.Mutex),
+	}
+	a.Labeler = seedlabel.New(k, a.Mutex, s.Cfg.Seed)
+	a.Features = feature.NewExtractor(k, a.Mutex)
+
+	var eligible []string
+	for _, concept := range k.Concepts() {
+		if len(k.Instances(concept)) >= s.Cfg.MinTaskInstances {
+			eligible = append(eligible, concept)
+		}
+	}
+	parallelism := runtime.NumCPU()
+	a.Features.Warm(eligible, parallelism)
+
+	tasks := make([]*learn.Task, len(eligible))
+	errs := make([]error, len(eligible))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				tasks[i], errs[i] = s.buildTask(k, a, eligible[i])
+			}
+		}()
+	}
+	for i := range eligible {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: building task for %q: %w", eligible[i], err)
+		}
+	}
+	for i, task := range tasks {
+		if task == nil {
+			continue
+		}
+		a.Tasks = append(a.Tasks, task)
+		a.Concepts = append(a.Concepts, eligible[i])
+	}
+	return a, nil
+}
+
+// buildTask assembles the learning task of one concept: candidates are
+// the triggering instances plus every seed-labeled instance; raw features
+// are transformed by a per-concept KPCA fitted on (capped) task points.
+func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, error) {
+	seeds := a.Labeler.Seeds(concept)
+	var names []string
+	seen := map[string]bool{}
+	for _, e := range k.Instances(concept) {
+		if len(k.SubInstances(concept, e)) > 0 {
+			names = append(names, e)
+			seen[e] = true
+		}
+	}
+	for e := range seeds {
+		if !seen[e] {
+			names = append(names, e)
+		}
+	}
+	sort.Strings(names)
+	if len(names) < 2 {
+		return nil, nil
+	}
+	raw := a.Features.Matrix(concept, names)
+
+	// Fit KPCA on all labeled points plus a deterministic sample of the
+	// rest, capped for tractability; project everything.
+	fitIdx := make([]int, 0, len(names))
+	var unlabeled []int
+	for i, e := range names {
+		if _, ok := seeds[e]; ok {
+			fitIdx = append(fitIdx, i)
+		} else {
+			unlabeled = append(unlabeled, i)
+		}
+	}
+	cap := s.Cfg.KPCAFitCap
+	if cap <= 0 {
+		cap = DefaultConfig().KPCAFitCap
+	}
+	stride := 1
+	if room := cap - len(fitIdx); room > 0 && len(unlabeled) > room {
+		stride = (len(unlabeled) + room - 1) / room
+	}
+	for i := 0; i < len(unlabeled); i += stride {
+		fitIdx = append(fitIdx, unlabeled[i])
+	}
+	if len(fitIdx) < 2 {
+		fitIdx = []int{0, 1}
+	}
+	fitX := make([][]float64, len(fitIdx))
+	for i, idx := range fitIdx {
+		fitX[i] = raw[idx]
+	}
+	kcfg := s.Cfg.KPCA
+	if kcfg.MaxComponents <= 0 || kcfg.MaxComponents > s.sharedDim() {
+		kcfg.MaxComponents = s.sharedDim()
+	}
+	tr, err := kpca.Fit(fitX, kcfg)
+	if err != nil {
+		// Degenerate concepts (e.g. all task points identical after an
+		// aggressive cleaning round) have no kernel structure to extract;
+		// fall back to the raw features as the representation.
+		tr = nil
+	}
+	task := &learn.Task{Concept: concept}
+	for i, e := range names {
+		lbl, labeled := seeds[e]
+		x := raw[i]
+		if tr != nil {
+			x = tr.Project(raw[i])
+		}
+		task.Instances = append(task.Instances, learn.Instance{
+			Name:    e,
+			X:       x,
+			Raw:     raw[i],
+			Label:   lbl,
+			Labeled: labeled,
+		})
+	}
+	task.PadTo(s.sharedDim())
+	return task, nil
+}
+
+func (s *System) sharedDim() int {
+	if s.Cfg.SharedDim > 0 {
+		return s.Cfg.SharedDim
+	}
+	return DefaultConfig().SharedDim
+}
+
+// DetectorKind selects a DP detection method (Table 4).
+type DetectorKind int
+
+const (
+	// DetectMultiTask is the paper's method: semi-supervised multi-task
+	// Concept Adaptive Drift Detection.
+	DetectMultiTask DetectorKind = iota
+	// DetectSemiSupervised trains each concept separately with the
+	// manifold regularizer (Eq 15).
+	DetectSemiSupervised
+	// DetectSupervised is the Random Forest baseline on raw features.
+	DetectSupervised
+	// DetectRidge is plain least-squares on the KPCA representation
+	// (ablation: KPCA without semi-supervision).
+	DetectRidge
+	// DetectAdHoc1..4 threshold a single raw feature.
+	DetectAdHoc1
+	DetectAdHoc2
+	DetectAdHoc3
+	DetectAdHoc4
+)
+
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectMultiTask:
+		return "semi-supervised multi-task"
+	case DetectSemiSupervised:
+		return "semi-supervised"
+	case DetectSupervised:
+		return "supervised (random forest)"
+	case DetectRidge:
+		return "ridge"
+	case DetectAdHoc1, DetectAdHoc2, DetectAdHoc3, DetectAdHoc4:
+		return fmt.Sprintf("ad-hoc %d", int(k-DetectAdHoc1)+1)
+	default:
+		return fmt.Sprintf("DetectorKind(%d)", int(k))
+	}
+}
+
+// Detect runs the chosen detection method over the analysis tasks and
+// returns per-concept instance labels (all three classes). A KB without
+// any seed labels (e.g. no drift at all) yields an empty label set —
+// there is nothing to learn from and nothing to clean.
+func (s *System) Detect(a *Analysis, kind DetectorKind) (clean.Labels, error) {
+	out := clean.Labels{}
+	anyLabels := false
+	for _, t := range a.Tasks {
+		if t.LabeledCount() > 0 {
+			anyLabels = true
+			break
+		}
+	}
+	if !anyLabels {
+		return out, nil
+	}
+	switch kind {
+	case DetectMultiTask:
+		res, err := learn.TrainMultiTask(a.Tasks, s.Cfg.MultiTask, nil)
+		if err != nil {
+			return nil, err
+		}
+		fallback := meanDetector(res.Detectors)
+		for _, t := range a.Tasks {
+			det := res.Detectors[t.Concept]
+			if det == nil {
+				// Knowledge transfer to label-less concepts: the averaged
+				// detector carries the shared structure.
+				det = fallback
+			}
+			if det == nil {
+				continue
+			}
+			out[t.Concept] = learn.PredictTask(calibrateFor(det, t, a.Tasks), t, false)
+		}
+	case DetectSemiSupervised:
+		for _, t := range a.Tasks {
+			det, err := learn.TrainSemiSupervised(t, learn.DefaultSemiSupervisedConfig())
+			if err != nil {
+				continue // concepts without seeds stay undetected
+			}
+			out[t.Concept] = learn.PredictTask(calibrateFor(det, t, a.Tasks), t, false)
+		}
+	case DetectRidge:
+		for _, t := range a.Tasks {
+			det, err := learn.TrainRidge(t, 1e-2)
+			if err != nil {
+				continue
+			}
+			out[t.Concept] = learn.PredictTask(calibrateFor(det, t, a.Tasks), t, false)
+		}
+	case DetectSupervised:
+		// The paper's conventional supervised baseline trains per
+		// concept — exactly why it starves on concepts with little seed
+		// data (Sec 3: "lots of concepts do not have much training
+		// data"). Concepts whose forest cannot be trained stay
+		// undetected.
+		for _, t := range a.Tasks {
+			f, err := learn.TrainForest(t, s.Cfg.Forest)
+			if err != nil {
+				continue
+			}
+			out[t.Concept] = learn.PredictTask(f, t, true)
+		}
+	case DetectAdHoc1, DetectAdHoc2, DetectAdHoc3, DetectAdHoc4:
+		featIdx := int(kind - DetectAdHoc1)
+		det, err := learn.TrainAdHocPooled(a.Tasks, featIdx)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range a.Tasks {
+			out[t.Concept] = learn.PredictTask(det, t, true)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown detector kind %d", kind)
+	}
+	for _, t := range a.Tasks {
+		guardDPs(out[t.Concept], t)
+	}
+	return out, nil
+}
+
+// guardDPs demotes DP predictions with no observable exclusive-class
+// signal to non-DP. By Definitions 3 and 4, an Intentional DP is
+// polysemous across exclusive concepts (f2 ≥ 1) and an Accidental DP is
+// an erroneous extraction whose instance or sub-instances are rooted in
+// an exclusive concept (f2 or f6 positive); a "DP" exhibiting neither is
+// indistinguishable from a clean trigger with rare sub-instances, the
+// dominant false-positive mode.
+func guardDPs(labels map[string]dp.Label, t *learn.Task) {
+	if labels == nil {
+		return
+	}
+	for _, in := range t.Instances {
+		lbl, ok := labels[in.Name]
+		if !ok || !lbl.IsDP() || in.Labeled {
+			continue
+		}
+		f2, f6 := in.Raw[1], in.Raw[5]
+		switch lbl {
+		case dp.Intentional:
+			// A polysemous instance shows up in an exclusive concept, and
+			// its drift drags a visible cluster across the boundary.
+			if f2 == 0 && f6 < 0.2 {
+				labels[in.Name] = dp.NonDP
+			}
+		case dp.Accidental:
+			if f2 == 0 && f6 == 0 {
+				labels[in.Name] = dp.NonDP
+			}
+		}
+	}
+}
+
+// calibrateFor tunes a linear detector's DP margin on the task's own
+// seeds when they contain enough examples of *both* sides, and otherwise
+// on the pooled seeds of all tasks. A concept whose seeds contain no DP
+// examples cannot estimate a margin at all (plain argmax then over-fires
+// on every borderline trigger), so borrowing the global margin is the
+// same cross-concept transfer that motivates the multi-task objective.
+func calibrateFor(det *learn.LinearDetector, t *learn.Task, all []*learn.Task) *learn.CalibratedLinear {
+	dpSeeds, nonSeeds := 0, 0
+	for _, in := range t.Instances {
+		if !in.Labeled {
+			continue
+		}
+		if in.Label.IsDP() {
+			dpSeeds++
+		} else {
+			nonSeeds++
+		}
+	}
+	if dpSeeds >= 1 && nonSeeds >= 1 {
+		return learn.Calibrate(det, t)
+	}
+	return learn.Calibrate(det, all...)
+}
+
+// meanDetector averages the W matrices of all trained detectors — the
+// shared-structure fallback for concepts without any seed labels.
+func meanDetector(dets map[string]*learn.LinearDetector) *learn.LinearDetector {
+	var sum *linalg.Matrix
+	n := 0
+	for _, d := range dets {
+		if sum == nil {
+			sum = d.W.Clone()
+		} else {
+			linalg.AddInPlace(sum, 1, d.W)
+		}
+		n++
+	}
+	if sum == nil {
+		return nil
+	}
+	return &learn.LinearDetector{W: linalg.Scale(1/float64(n), sum)}
+}
+
+// CleanResult reports a full DP-cleaning run.
+type CleanResult struct {
+	Clean *clean.Result
+	// BeforeInstances snapshots each concept's instances prior to
+	// cleaning, for before/after evaluation.
+	BeforeInstances map[string][]string
+}
+
+// CleanDPs runs the iterative detect-and-clean loop of Sec 4 on the
+// system's KB using the given detection method, mutating the KB.
+func (s *System) CleanDPs(kind DetectorKind) (*CleanResult, error) {
+	before := map[string][]string{}
+	for _, c := range s.KB.Concepts() {
+		before[c] = s.KB.Instances(c)
+	}
+	var detectErr error
+	res := clean.Run(s.KB, func(k *kb.KB) clean.Labels {
+		a, err := s.Analyze(k)
+		if err != nil {
+			detectErr = err
+			return clean.Labels{}
+		}
+		labels, err := s.Detect(a, kind)
+		if err != nil {
+			detectErr = err
+			return clean.Labels{}
+		}
+		return onlyDPs(labels)
+	}, s.Cfg.Clean)
+	if detectErr != nil {
+		return nil, detectErr
+	}
+	return &CleanResult{Clean: res, BeforeInstances: before}, nil
+}
+
+// onlyDPs strips non-DP predictions from a label set.
+func onlyDPs(labels clean.Labels) clean.Labels {
+	out := clean.Labels{}
+	for c, m := range labels {
+		for e, l := range m {
+			if !l.IsDP() {
+				continue
+			}
+			if out[c] == nil {
+				out[c] = map[string]dp.Label{}
+			}
+			out[c][e] = l
+		}
+	}
+	return out
+}

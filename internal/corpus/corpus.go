@@ -1,0 +1,641 @@
+// Package corpus generates synthetic Hearst-pattern web sentences from a
+// ground-truth world. It substitutes for the paper's 326M deduplicated
+// "such as" sentences drawn from 1.68B web pages (DESIGN.md §1).
+//
+// The generator reproduces the four sentence classes the paper's
+// introduction walks through:
+//
+//   - Unambiguous (S1): "animal such as dog , cat and pig ." — exactly one
+//     candidate concept; parseable in the first iteration.
+//   - Ambiguous modifier (S4): "animal from country such as giraffe and
+//     lion ." — two candidate concepts; needs knowledge to disambiguate.
+//   - Drift-inducing (S3): an ambiguous modifier sentence whose instances
+//     include a polysemous bridge (chicken ∈ animal ∩ food), so a KB that
+//     knows the bridge under the *distractor* concept will resolve the
+//     sentence wrongly and learn drifting errors.
+//   - Mis-parse hazard: "animal other_than dog_breed such as cat ." — the
+//     naive parser attaches "such as" to the nearest noun phrase and
+//     produces (cat isA dog_breed), the paper's Accidental-DP example.
+//
+// Wrong-fact noise ("country such as ... new_york ...") and typo noise
+// complete the Accidental-DP sources. Every sentence carries hidden ground
+// truth (true concept, known-wrong instances) that only the evaluation
+// package may consult.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"driftclean/internal/world"
+)
+
+// Kind classifies how a sentence was generated.
+type Kind int
+
+const (
+	// Unambiguous sentences have a single candidate concept (S1).
+	Unambiguous Kind = iota
+	// Modifier sentences have a concept-prep-concept head (S3/S4).
+	Modifier
+	// Misparse sentences use "other than" and will be parsed wrongly by
+	// the naive Hearst parser.
+	Misparse
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Unambiguous:
+		return "unambiguous"
+	case Modifier:
+		return "modifier"
+	case Misparse:
+		return "misparse"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Truth is the hidden per-sentence ground truth. Only evaluation code may
+// read it; the parser and extractor must work from Sentence.Text alone.
+type Truth struct {
+	Kind        Kind
+	TrueConcept string
+	// WrongInstances lists instance tokens in the sentence that are not
+	// ground-truth members of TrueConcept (wrong facts and typos).
+	WrongInstances []string
+}
+
+// Sentence is one generated Hearst-pattern sentence.
+type Sentence struct {
+	ID   int
+	Text string
+}
+
+// Corpus is a deduplicated sentence collection with hidden ground truth.
+type Corpus struct {
+	Sentences []Sentence
+	truths    []Truth
+}
+
+// Truth returns the hidden ground truth for a sentence ID. It must only be
+// used by evaluation code.
+func (c *Corpus) Truth(id int) Truth { return c.truths[id] }
+
+// Len returns the number of sentences.
+func (c *Corpus) Len() int { return len(c.Sentences) }
+
+// Config controls corpus generation.
+type Config struct {
+	Seed         int64
+	NumSentences int
+
+	// FracModifier is the fraction of sentences with an ambiguous
+	// concept-prep-concept head; FracMisparse the fraction with the
+	// "other than" hazard. The remainder is unambiguous.
+	FracModifier float64
+	FracMisparse float64
+
+	// BridgeProb is the probability that a modifier sentence includes a
+	// polysemous bridge instance shared with the distractor concept
+	// (turning S4 into the drift-inducing S3).
+	BridgeProb float64
+
+	// WrongFactProb is the per-sentence probability of replacing one
+	// instance with a non-member from the same domain (the paper's
+	// "New York isA Country" example). TypoProb is the per-sentence
+	// probability of corrupting one instance's spelling.
+	WrongFactProb float64
+	TypoProb      float64
+
+	// InstancesMin/Max bound the instance list length per sentence.
+	InstancesMin, InstancesMax int
+
+	// ZipfS is the skew of concept popularity and of head-instance
+	// popularity within a concept (must be > 1).
+	ZipfS float64
+	// HeadFrac is the fraction of a concept's instances eligible for
+	// unambiguous sentences (the "head"). Polysemous bridge instances are
+	// anchored to the head of exactly one of their concepts, reproducing
+	// the paper's asymmetry: (chicken isA animal) is learned early while
+	// (chicken isA food) is not, so a food sentence containing chicken
+	// resolves to animal.
+	HeadFrac float64
+	// TailBias is the probability that each instance of a modifier
+	// sentence is drawn from the concept's tail (instances outside the
+	// head, unknown after iteration 1) rather than its head. High values
+	// starve the true concept of disambiguation votes — the regime where
+	// drift happens.
+	TailBias float64
+
+	// Patterns mixes the Hearst pattern variants used to render
+	// sentences. Zero value selects DefaultPatternMix.
+	Patterns PatternMix
+}
+
+// PatternMix weights the Hearst pattern variants. Weights need not sum
+// to one; they are normalized. Mis-parse hazard sentences always use
+// "such as" (the "other than" hazard is specific to it).
+type PatternMix struct {
+	SuchAs     float64 // "C such as e1 , e2 ."
+	Including  float64 // "C including e1 , e2 ."
+	Especially float64 // "C , especially e1 and e2 ."
+	AndOther   float64 // "e1 , e2 and other C ."
+}
+
+// DefaultPatternMix reflects the rough web prevalence of the patterns:
+// "such as" dominates, the others contribute meaningful minorities.
+func DefaultPatternMix() PatternMix {
+	return PatternMix{SuchAs: 0.70, Including: 0.15, Especially: 0.05, AndOther: 0.10}
+}
+
+func (m PatternMix) total() float64 { return m.SuchAs + m.Including + m.Especially + m.AndOther }
+
+// DefaultConfig returns generation parameters tuned so the extraction
+// exhibits the paper's Fig 5(a) shape: iteration-1 precision above 90%
+// decaying below ~55% as iterations proceed.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          7,
+		NumSentences:  120000,
+		FracModifier:  0.55,
+		FracMisparse:  0.002,
+		BridgeProb:    0.6,
+		WrongFactProb: 0.004,
+		TypoProb:      0.001,
+		InstancesMin:  2,
+		InstancesMax:  5,
+		ZipfS:         1.12,
+		HeadFrac:      0.45,
+		TailBias:      0.8,
+		Patterns:      DefaultPatternMix(),
+	}
+}
+
+// Generate builds a deduplicated corpus over w. The same (world, Config)
+// always yields the same corpus.
+func Generate(w *world.World, cfg Config) *Corpus {
+	if cfg.NumSentences <= 0 {
+		cfg.NumSentences = DefaultConfig().NumSentences
+	}
+	if cfg.InstancesMin < 1 {
+		cfg.InstancesMin = 2
+	}
+	if cfg.InstancesMax < cfg.InstancesMin {
+		cfg.InstancesMax = cfg.InstancesMin + 3
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.35
+	}
+	if cfg.HeadFrac <= 0 || cfg.HeadFrac > 1 {
+		cfg.HeadFrac = DefaultConfig().HeadFrac
+	}
+	if cfg.TailBias <= 0 || cfg.TailBias > 1 {
+		cfg.TailBias = DefaultConfig().TailBias
+	}
+	if cfg.Patterns.total() <= 0 {
+		cfg.Patterns = DefaultPatternMix()
+	}
+	g := newGenerator(w, cfg)
+	return g.run()
+}
+
+type generator struct {
+	w   *world.World
+	cfg Config
+	rng *rand.Rand
+
+	concepts    []*world.Concept // popularity order
+	conceptZipf *rand.Zipf
+
+	heads      map[int][]string         // concept ID -> head instances (popularity order)
+	tails      map[int][]string         // concept ID -> non-head instances
+	headZipf   map[int]*rand.Zipf       // concept ID -> head sampler
+	distractor map[int][]int            // concept ID -> distractor concept IDs (same domain)
+	bridges    map[[2]int][]string      // (concept C, distractor D) -> shared instances anchored at D
+	subOf      map[int][]*world.Concept // concept ID -> its sub-concepts
+	parents    []*world.Concept         // concepts that have sub-concepts
+	domainPool map[int][]string         // domain -> all instances (for wrong facts)
+	anchor     map[string]int           // polysemous instance -> concept ID whose head carries it
+}
+
+func newGenerator(w *world.World, cfg Config) *generator {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{
+		w:          w,
+		cfg:        cfg,
+		rng:        rng,
+		heads:      make(map[int][]string),
+		tails:      make(map[int][]string),
+		headZipf:   make(map[int]*rand.Zipf),
+		distractor: make(map[int][]int),
+		bridges:    make(map[[2]int][]string),
+		subOf:      make(map[int][]*world.Concept),
+		domainPool: make(map[int][]string),
+		anchor:     make(map[string]int),
+	}
+	// Popularity order over concepts: shuffle, then Zipf over the order.
+	g.concepts = make([]*world.Concept, len(w.Concepts))
+	copy(g.concepts, w.Concepts)
+	rng.Shuffle(len(g.concepts), func(i, j int) {
+		g.concepts[i], g.concepts[j] = g.concepts[j], g.concepts[i]
+	})
+	// Keep tail concepts in the tail of the popularity order.
+	sort.SliceStable(g.concepts, func(i, j int) bool {
+		return !g.concepts[i].Tail && g.concepts[j].Tail
+	})
+	g.conceptZipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(g.concepts)-1))
+
+	for _, c := range w.Concepts {
+		if c.ParentOf >= 0 {
+			g.subOf[c.ParentOf] = append(g.subOf[c.ParentOf], c)
+		}
+		g.domainPool[c.Domain] = append(g.domainPool[c.Domain], c.Instances...)
+	}
+	for _, c := range w.Concepts {
+		if len(g.subOf[c.ID]) > 0 {
+			g.parents = append(g.parents, c)
+		}
+	}
+	// Anchor each polysemous instance to exactly one of its concepts:
+	// it will be head (popular, learned in iteration 1) there and tail
+	// everywhere else — the asymmetry behind the paper's S3 drift.
+	// Only instances shared across *mutually exclusive* concepts are
+	// anchored; instances shared with an alias or sub-concept stay
+	// head-eligible everywhere so highly-similar concepts keep their core
+	// overlap (Sec 3.2.1).
+	for _, c := range w.Concepts {
+		for _, e := range c.Instances {
+			if _, done := g.anchor[e]; done {
+				continue
+			}
+			if !w.IsPolysemous(e) {
+				continue
+			}
+			ids := w.ConceptsOf(e)
+			g.anchor[e] = ids[rng.Intn(len(ids))]
+		}
+	}
+	for _, c := range w.Concepts {
+		// Heads: anchored bridges first, then a random fill of unshared
+		// instances up to HeadFrac of the class.
+		var head, tail []string
+		var rest []string
+		for _, e := range c.Instances {
+			if a, poly := g.anchor[e]; poly {
+				if a == c.ID {
+					head = append(head, e)
+				} else {
+					tail = append(tail, e)
+				}
+				continue
+			}
+			rest = append(rest, e)
+		}
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		nHead := int(float64(len(c.Instances)) * cfg.HeadFrac)
+		if nHead < 1 {
+			nHead = 1
+		}
+		for _, e := range rest {
+			if len(head) < nHead {
+				head = append(head, e)
+			} else {
+				tail = append(tail, e)
+			}
+		}
+		if len(tail) == 0 && len(head) > 1 {
+			tail = append(tail, head[len(head)-1])
+			head = head[:len(head)-1]
+		}
+		g.heads[c.ID] = head
+		g.tails[c.ID] = tail
+		g.headZipf[c.ID] = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(head)-1))
+
+		// Distractors: same-domain concepts; those holding an anchored
+		// bridge with c first, since only they can induce S3-style drift.
+		var withBridge, without []int
+		for _, otherID := range w.Domains[c.Domain] {
+			if otherID == c.ID {
+				continue
+			}
+			other := w.Concepts[otherID]
+			var anchored []string
+			for _, e := range c.Instances {
+				if other.Has(e) && g.anchor[e] == otherID {
+					anchored = append(anchored, e)
+				}
+			}
+			if len(anchored) > 0 {
+				withBridge = append(withBridge, otherID)
+				g.bridges[[2]int{c.ID, otherID}] = anchored
+			} else {
+				without = append(without, otherID)
+			}
+		}
+		g.distractor[c.ID] = append(withBridge, without...)
+	}
+	return g
+}
+
+func (g *generator) run() *Corpus {
+	c := &Corpus{}
+	seen := make(map[string]struct{}, g.cfg.NumSentences)
+	attempts := 0
+	maxAttempts := g.cfg.NumSentences * 4
+	for len(c.Sentences) < g.cfg.NumSentences && attempts < maxAttempts {
+		attempts++
+		text, truth, ok := g.sentence()
+		if !ok {
+			continue
+		}
+		if _, dup := seen[text]; dup {
+			continue // the paper deduplicates sentences; so do we
+		}
+		seen[text] = struct{}{}
+		id := len(c.Sentences)
+		c.Sentences = append(c.Sentences, Sentence{ID: id, Text: text})
+		c.truths = append(c.truths, truth)
+	}
+	return c
+}
+
+// sentence produces one sentence with its hidden truth.
+func (g *generator) sentence() (string, Truth, bool) {
+	concept := g.concepts[g.conceptZipf.Uint64()]
+	r := g.rng.Float64()
+	switch {
+	case r < g.cfg.FracMisparse:
+		return g.misparseSentence(concept)
+	case r < g.cfg.FracMisparse+g.cfg.FracModifier:
+		return g.modifierSentence(concept)
+	default:
+		return g.unambiguousSentence(concept)
+	}
+}
+
+func (g *generator) unambiguousSentence(c *world.Concept) (string, Truth, bool) {
+	insts := g.sampleHead(c, g.instanceCount())
+	if len(insts) == 0 {
+		return "", Truth{}, false
+	}
+	truth := Truth{Kind: Unambiguous, TrueConcept: c.Name}
+	insts = g.injectNoise(c, insts, &truth)
+	return g.render(c.Name, insts, true), truth, true
+}
+
+func (g *generator) modifierSentence(c *world.Concept) (string, Truth, bool) {
+	ds := g.distractor[c.ID]
+	if len(ds) == 0 {
+		return g.unambiguousSentence(c)
+	}
+	// Prefer a bridge-sharing distractor when available.
+	d := g.w.Concepts[ds[g.rng.Intn(len(ds))]]
+	bridge := g.bridges[[2]int{c.ID, d.ID}]
+
+	n := g.instanceCount()
+	insts := g.sampleMixed(c, n)
+	if len(insts) == 0 {
+		return "", Truth{}, false
+	}
+	if len(bridge) > 0 && g.rng.Float64() < g.cfg.BridgeProb {
+		// Swap one instance for a polysemous bridge known only under the
+		// distractor — the S3 construction.
+		insts[g.rng.Intn(len(insts))] = bridge[g.rng.Intn(len(bridge))]
+		insts = dedupStrings(insts)
+	}
+	truth := Truth{Kind: Modifier, TrueConcept: c.Name}
+	insts = g.injectNoise(c, insts, &truth)
+	head := c.Name + " " + preposition(g.rng) + " " + d.Name
+	return g.render(head, insts, true), truth, true
+}
+
+func (g *generator) misparseSentence(c *world.Concept) (string, Truth, bool) {
+	// "C other_than S such as e..." where e ∈ C but e ∉ S, with S a
+	// sub-concept of C (the paper's "animals other than dogs such as
+	// cats"). The naive parser attaches to S, creating (e isA S)
+	// accidental errors. Instance lists are short: accidental mistakes
+	// carry weak evidence (Property 3). The hazard only exists for
+	// concepts with sub-concepts, so re-target the sentence to one.
+	if len(g.subOf[c.ID]) == 0 {
+		if len(g.parents) == 0 {
+			return g.unambiguousSentence(c)
+		}
+		c = g.parents[g.rng.Intn(len(g.parents))]
+	}
+	subs := g.subOf[c.ID]
+	s := subs[g.rng.Intn(len(subs))]
+	insts := g.sampleUniform(c, 1+g.rng.Intn(2))
+	filtered := insts[:0]
+	for _, e := range insts {
+		if !s.Has(e) {
+			filtered = append(filtered, e)
+		}
+	}
+	if len(filtered) == 0 {
+		return "", Truth{}, false
+	}
+	truth := Truth{Kind: Misparse, TrueConcept: c.Name}
+	head := c.Name + " other than " + s.Name
+	return g.render(head, filtered, false), truth, true
+}
+
+// injectNoise applies wrong-fact and typo noise, recording the wrong
+// instances in truth.
+func (g *generator) injectNoise(c *world.Concept, insts []string, truth *Truth) []string {
+	if g.rng.Float64() < g.cfg.WrongFactProb {
+		pool := g.domainPool[c.Domain]
+		for tries := 0; tries < 8; tries++ {
+			e := pool[g.rng.Intn(len(pool))]
+			if !c.Has(e) && !containsStr(insts, e) {
+				insts[g.rng.Intn(len(insts))] = e
+				truth.WrongInstances = append(truth.WrongInstances, e)
+				break
+			}
+		}
+	}
+	if g.rng.Float64() < g.cfg.TypoProb {
+		i := g.rng.Intn(len(insts))
+		if !containsStr(truth.WrongInstances, insts[i]) {
+			typo := corrupt(g.rng, insts[i])
+			if !g.w.IsTrue(c.Name, typo) {
+				insts[i] = typo
+				truth.WrongInstances = append(truth.WrongInstances, typo)
+			}
+		}
+	}
+	return dedupStrings(insts)
+}
+
+func (g *generator) instanceCount() int {
+	span := g.cfg.InstancesMax - g.cfg.InstancesMin + 1
+	return g.cfg.InstancesMin + g.rng.Intn(span)
+}
+
+// sampleHead draws n distinct head instances via the concept's Zipf sampler.
+func (g *generator) sampleHead(c *world.Concept, n int) []string {
+	head := g.heads[c.ID]
+	z := g.headZipf[c.ID]
+	seen := map[string]struct{}{}
+	out := make([]string, 0, n)
+	for tries := 0; len(out) < n && tries < n*6; tries++ {
+		e := head[z.Uint64()]
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}
+
+// sampleUniform draws n distinct instances uniformly from the full
+// ground-truth list.
+func (g *generator) sampleUniform(c *world.Concept, n int) []string {
+	if n > len(c.Instances) {
+		n = len(c.Instances)
+	}
+	seen := map[int]struct{}{}
+	out := make([]string, 0, n)
+	for tries := 0; len(out) < n && tries < n*6; tries++ {
+		i := g.rng.Intn(len(c.Instances))
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, c.Instances[i])
+	}
+	return out
+}
+
+// sampleMixed draws n distinct instances, each from the concept's tail
+// with probability TailBias and from its head otherwise. Tail-heavy
+// ambiguous sentences are the ones the true concept cannot vouch for —
+// the drift-prone regime.
+func (g *generator) sampleMixed(c *world.Concept, n int) []string {
+	head, tail := g.heads[c.ID], g.tails[c.ID]
+	seen := map[string]struct{}{}
+	out := make([]string, 0, n)
+	for tries := 0; len(out) < n && tries < n*8; tries++ {
+		var e string
+		if len(tail) > 0 && (len(head) == 0 || g.rng.Float64() < g.cfg.TailBias) {
+			e = tail[g.rng.Intn(len(tail))]
+		} else {
+			e = head[g.rng.Intn(len(head))]
+		}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}
+
+// render writes the sentence in one of the Hearst pattern variants.
+// allowAlt=false pins the "such as" form (used by the mis-parse hazard,
+// whose "other than" flaw is such-as specific).
+func (g *generator) render(head string, insts []string, allowAlt bool) string {
+	pattern := "such as"
+	if allowAlt {
+		pattern = g.pickPattern()
+	}
+	var b strings.Builder
+	writeList := func() {
+		for i, e := range insts {
+			switch {
+			case i == 0:
+			case i == len(insts)-1:
+				b.WriteString(" and ")
+			default:
+				b.WriteString(" , ")
+			}
+			b.WriteString(e)
+		}
+	}
+	switch pattern {
+	case "and other":
+		// Reversed: "e1 , e2 and other C ." — no lead-in.
+		writeList()
+		b.WriteString(" and other ")
+		b.WriteString(head)
+	case "especially":
+		b.WriteString(leadIn(g.rng))
+		b.WriteString(head)
+		b.WriteString(" , especially ")
+		writeList()
+	case "including":
+		b.WriteString(leadIn(g.rng))
+		b.WriteString(head)
+		b.WriteString(" including ")
+		writeList()
+	default:
+		b.WriteString(leadIn(g.rng))
+		b.WriteString(head)
+		b.WriteString(" such as ")
+		writeList()
+	}
+	b.WriteString(" .")
+	return b.String()
+}
+
+func (g *generator) pickPattern() string {
+	m := g.cfg.Patterns
+	r := g.rng.Float64() * m.total()
+	switch {
+	case r < m.SuchAs:
+		return "such as"
+	case r < m.SuchAs+m.Including:
+		return "including"
+	case r < m.SuchAs+m.Including+m.Especially:
+		return "especially"
+	default:
+		return "and other"
+	}
+}
+
+var leadIns = []string{"", "", "", "many ", "common ", "popular ", "various "}
+
+func leadIn(rng *rand.Rand) string { return leadIns[rng.Intn(len(leadIns))] }
+
+var prepositions = []string{"from", "in", "of"}
+
+func preposition(rng *rand.Rand) string { return prepositions[rng.Intn(len(prepositions))] }
+
+// corrupt introduces a single-character typo.
+func corrupt(rng *rand.Rand, s string) string {
+	if len(s) < 2 {
+		return s + "x"
+	}
+	b := []byte(s)
+	i := rng.Intn(len(b))
+	b[i] = byte('a' + rng.Intn(26))
+	if string(b) == s {
+		return s + "x"
+	}
+	return string(b)
+}
+
+func dedupStrings(xs []string) []string {
+	seen := make(map[string]struct{}, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,213 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"driftclean/internal/hearst"
+	"driftclean/internal/world"
+)
+
+func testWorld() *world.World {
+	cfg := world.DefaultConfig()
+	cfg.NumDomains = 3
+	cfg.InstancesPerConceptMin = 40
+	cfg.InstancesPerConceptMax = 80
+	return world.New(cfg)
+}
+
+func smallCorpus(w *world.World, n int) *Corpus {
+	cfg := DefaultConfig()
+	cfg.NumSentences = n
+	return Generate(w, cfg)
+}
+
+func TestGenerateCount(t *testing.T) {
+	w := testWorld()
+	c := smallCorpus(w, 2000)
+	if c.Len() != 2000 {
+		t.Fatalf("generated %d sentences, want 2000", c.Len())
+	}
+	if len(c.truths) != c.Len() {
+		t.Fatalf("truth records %d, sentences %d", len(c.truths), c.Len())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w := testWorld()
+	c1, c2 := smallCorpus(w, 500), smallCorpus(w, 500)
+	for i := range c1.Sentences {
+		if c1.Sentences[i].Text != c2.Sentences[i].Text {
+			t.Fatalf("sentence %d differs between runs", i)
+		}
+	}
+}
+
+func TestSentencesDeduplicated(t *testing.T) {
+	w := testWorld()
+	c := smallCorpus(w, 3000)
+	seen := map[string]bool{}
+	for _, s := range c.Sentences {
+		if seen[s.Text] {
+			t.Fatalf("duplicate sentence: %q", s.Text)
+		}
+		seen[s.Text] = true
+	}
+}
+
+func TestEverySentenceParses(t *testing.T) {
+	w := testWorld()
+	c := smallCorpus(w, 3000)
+	for _, s := range c.Sentences {
+		p, ok := hearst.ParseSentence(s.ID, s.Text)
+		if !ok {
+			t.Fatalf("sentence %d does not parse: %q", s.ID, s.Text)
+		}
+		truth := c.Truth(s.ID)
+		switch truth.Kind {
+		case Unambiguous:
+			if p.Ambiguous() {
+				t.Fatalf("unambiguous sentence parsed ambiguous: %q", s.Text)
+			}
+			if p.Candidates[0] != truth.TrueConcept {
+				t.Fatalf("unambiguous candidate %q, truth %q", p.Candidates[0], truth.TrueConcept)
+			}
+		case Modifier:
+			if !p.Ambiguous() {
+				t.Fatalf("modifier sentence parsed unambiguous: %q", s.Text)
+			}
+			if p.Candidates[0] != truth.TrueConcept {
+				t.Fatalf("modifier head candidate %q, truth %q", p.Candidates[0], truth.TrueConcept)
+			}
+		case Misparse:
+			if !p.OtherThan {
+				t.Fatalf("misparse sentence lost other-than flag: %q", s.Text)
+			}
+			if p.Candidates[0] == truth.TrueConcept {
+				t.Fatalf("misparse sentence should not resolve to the true concept: %q", s.Text)
+			}
+		}
+	}
+}
+
+func TestKindMixRoughlyMatchesConfig(t *testing.T) {
+	w := testWorld()
+	cfg := DefaultConfig()
+	cfg.NumSentences = 8000
+	c := Generate(w, cfg)
+	counts := map[Kind]int{}
+	for i := range c.Sentences {
+		counts[c.Truth(i).Kind]++
+	}
+	// Deduplication drops proportionally more unambiguous sentences (their
+	// Zipf-head sampling collides often), so the surviving mix skews above
+	// the proposal fraction; assert a broad band around it.
+	tot := float64(c.Len())
+	modFrac := float64(counts[Modifier]) / tot
+	if modFrac < cfg.FracModifier-0.15 || modFrac > cfg.FracModifier+0.25 {
+		t.Errorf("modifier fraction %.3f too far from config %.3f", modFrac, cfg.FracModifier)
+	}
+	if counts[Misparse] == 0 {
+		t.Error("no misparse sentences generated")
+	}
+	if counts[Unambiguous] == 0 {
+		t.Error("no unambiguous sentences generated")
+	}
+}
+
+func TestWrongInstancesAreActuallyWrong(t *testing.T) {
+	w := testWorld()
+	c := smallCorpus(w, 8000)
+	found := 0
+	for i := range c.Sentences {
+		truth := c.Truth(i)
+		for _, e := range truth.WrongInstances {
+			found++
+			if w.IsTrue(truth.TrueConcept, e) {
+				t.Fatalf("instance %q marked wrong but is a true member of %q", e, truth.TrueConcept)
+			}
+			if !strings.Contains(c.Sentences[i].Text, e) {
+				t.Fatalf("wrong instance %q not present in sentence %q", e, c.Sentences[i].Text)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no wrong-fact/typo noise generated in 8000 sentences")
+	}
+}
+
+func TestUnmarkedInstancesAreCorrect(t *testing.T) {
+	// In unambiguous and modifier sentences, instances not listed in
+	// WrongInstances must be true members of the true concept.
+	w := testWorld()
+	c := smallCorpus(w, 4000)
+	for i := range c.Sentences {
+		truth := c.Truth(i)
+		if truth.Kind == Misparse {
+			continue
+		}
+		p, ok := hearst.ParseSentence(i, c.Sentences[i].Text)
+		if !ok {
+			t.Fatal("unparseable sentence")
+		}
+		wrong := map[string]bool{}
+		for _, e := range truth.WrongInstances {
+			wrong[e] = true
+		}
+		for _, e := range p.Instances {
+			if wrong[e] {
+				continue
+			}
+			if !w.IsTrue(truth.TrueConcept, e) {
+				t.Fatalf("sentence %q: unmarked instance %q is not a member of %q",
+					c.Sentences[i].Text, e, truth.TrueConcept)
+			}
+		}
+	}
+}
+
+func TestMisparseInstancesBelongToTrueConcept(t *testing.T) {
+	w := testWorld()
+	c := smallCorpus(w, 8000)
+	checked := 0
+	for i := range c.Sentences {
+		truth := c.Truth(i)
+		if truth.Kind != Misparse {
+			continue
+		}
+		checked++
+		p, _ := hearst.ParseSentence(i, c.Sentences[i].Text)
+		for _, e := range p.Instances {
+			if !w.IsTrue(truth.TrueConcept, e) {
+				t.Fatalf("misparse sentence %q instance %q not in true concept %q",
+					c.Sentences[i].Text, e, truth.TrueConcept)
+			}
+			// The hazard: the parsed candidate is wrong for at least the
+			// filtered instances.
+			if w.IsTrue(p.Candidates[0], e) {
+				t.Fatalf("misparse sentence %q instance %q is a member of the mis-attached concept %q",
+					c.Sentences[i].Text, e, p.Candidates[0])
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no misparse sentences in sample")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Unambiguous.String() != "unambiguous" || Modifier.String() != "modifier" || Misparse.String() != "misparse" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	w := testWorld()
+	c := Generate(w, Config{Seed: 3, NumSentences: 100})
+	if c.Len() != 100 {
+		t.Fatalf("got %d sentences", c.Len())
+	}
+}

@@ -1,0 +1,70 @@
+// Package dp defines the Drifting-Point label vocabulary shared by the
+// seed labeler, the learned detectors, and the evaluation oracle
+// (paper Sec 2.2, Definitions 2–4).
+package dp
+
+import "fmt"
+
+// Label classifies an instance of a concept.
+type Label int
+
+const (
+	// NonDP marks an instance that introduces no drifting errors.
+	NonDP Label = iota
+	// Intentional marks a polysemous instance that is correct for the
+	// concept but introduces instances of a mutually exclusive concept
+	// (Definition 3; the paper's "chicken" under "animal").
+	Intentional
+	// Accidental marks an instance that is itself an extraction error and
+	// whose triggered instances are drifting errors (Definition 4; the
+	// paper's "New York" under "country").
+	Accidental
+)
+
+func (l Label) String() string {
+	switch l {
+	case NonDP:
+		return "non-DP"
+	case Intentional:
+		return "intentional-DP"
+	case Accidental:
+		return "accidental-DP"
+	default:
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+}
+
+// IsDP reports whether the label marks a drifting point of either type.
+func (l Label) IsDP() bool { return l == Intentional || l == Accidental }
+
+// OneHot returns the paper's boolean label encoding (Sec 3.3.2):
+// Intentional -> [1 0 0], Accidental -> [0 1 0], NonDP -> [0 0 1].
+func (l Label) OneHot() [3]float64 {
+	switch l {
+	case Intentional:
+		return [3]float64{1, 0, 0}
+	case Accidental:
+		return [3]float64{0, 1, 0}
+	default:
+		return [3]float64{0, 0, 1}
+	}
+}
+
+// FromScores inverts OneHot by argmax over the three class scores, with
+// ties resolved in favor of the earlier class in the encoding order.
+func FromScores(scores [3]float64) Label {
+	best, bestIdx := scores[0], 0
+	for i := 1; i < 3; i++ {
+		if scores[i] > best {
+			best, bestIdx = scores[i], i
+		}
+	}
+	switch bestIdx {
+	case 0:
+		return Intentional
+	case 1:
+		return Accidental
+	default:
+		return NonDP
+	}
+}

@@ -1,0 +1,93 @@
+package dp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringNames(t *testing.T) {
+	cases := map[Label]string{
+		NonDP:       "non-DP",
+		Intentional: "intentional-DP",
+		Accidental:  "accidental-DP",
+		Label(42):   "Label(42)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestIsDP(t *testing.T) {
+	if NonDP.IsDP() {
+		t.Error("NonDP.IsDP() = true")
+	}
+	if !Intentional.IsDP() || !Accidental.IsDP() {
+		t.Error("DP labels must report IsDP")
+	}
+}
+
+func TestOneHotEncoding(t *testing.T) {
+	if Intentional.OneHot() != [3]float64{1, 0, 0} {
+		t.Error("Intentional one-hot wrong")
+	}
+	if Accidental.OneHot() != [3]float64{0, 1, 0} {
+		t.Error("Accidental one-hot wrong")
+	}
+	if NonDP.OneHot() != [3]float64{0, 0, 1} {
+		t.Error("NonDP one-hot wrong")
+	}
+}
+
+func TestFromScoresArgmax(t *testing.T) {
+	if got := FromScores([3]float64{0.9, 0.1, 0.3}); got != Intentional {
+		t.Errorf("argmax[0] = %v", got)
+	}
+	if got := FromScores([3]float64{0.1, 0.9, 0.3}); got != Accidental {
+		t.Errorf("argmax[1] = %v", got)
+	}
+	if got := FromScores([3]float64{0.1, 0.2, 0.9}); got != NonDP {
+		t.Errorf("argmax[2] = %v", got)
+	}
+}
+
+func TestFromScoresTieBreak(t *testing.T) {
+	// Equal scores resolve to the earlier class in encoding order.
+	if got := FromScores([3]float64{0.5, 0.5, 0.5}); got != Intentional {
+		t.Errorf("tie = %v, want Intentional", got)
+	}
+	if got := FromScores([3]float64{0.1, 0.5, 0.5}); got != Accidental {
+		t.Errorf("tie(acc,non) = %v, want Accidental", got)
+	}
+}
+
+// Property: FromScores inverts OneHot for every label.
+func TestQuickOneHotRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		l := Label(int(n) % 3)
+		return FromScores(l.OneHot()) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromScores always returns the class with the maximal score
+// when that maximum is unique.
+func TestQuickFromScoresPicksMax(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		s := [3]float64{a, b, c}
+		got := FromScores(s)
+		idx := map[Label]int{Intentional: 0, Accidental: 1, NonDP: 2}[got]
+		for i := 0; i < 3; i++ {
+			if s[i] > s[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"driftclean/internal/corpus"
+	"driftclean/internal/dp"
+	"driftclean/internal/kb"
+	"driftclean/internal/world"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// fixture builds a tiny world/corpus/KB triple with known truth:
+// animal = {dog, cat, chicken, duck}, food = {beef, pork, chicken}.
+// KB: dog, cat, chicken core under animal; chicken triggers beef (error)
+// and duck (correct) under animal.
+func fixture(t testing.TB) (*Oracle, *kb.KB) {
+	t.Helper()
+	wcfg := world.DefaultConfig()
+	wcfg.NumDomains = 1
+	w := world.New(wcfg)
+	c := corpus.Generate(w, corpus.Config{Seed: 9, NumSentences: 50})
+	o := NewOracle(w, c)
+	k := kb.New()
+	k.AddExtraction(0, "animal", nil, []string{"dog", "cat", "chicken"}, nil, 1)
+	k.AddExtraction(1, "animal", nil, []string{"beef", "duck", "chicken"}, []string{"chicken"}, 2)
+	return o, k
+}
+
+func TestPairCorrect(t *testing.T) {
+	o, _ := fixture(t)
+	if !o.PairCorrect("animal", "dog") {
+		t.Error("dog isA animal must be correct")
+	}
+	if o.PairCorrect("animal", "beef") {
+		t.Error("beef isA animal must be wrong")
+	}
+}
+
+func TestTruthLabels(t *testing.T) {
+	o, k := fixture(t)
+	if got := o.TruthLabel(k, "animal", "chicken"); got != dp.Intentional {
+		t.Errorf("chicken = %v, want Intentional (correct pair that triggered beef)", got)
+	}
+	if got := o.TruthLabel(k, "animal", "dog"); got != dp.NonDP {
+		t.Errorf("dog = %v, want NonDP", got)
+	}
+	// A wrong pair that triggers errors is Accidental.
+	k.AddExtraction(2, "animal", nil, []string{"pork"}, []string{"beef"}, 3)
+	if got := o.TruthLabel(k, "animal", "beef"); got != dp.Accidental {
+		t.Errorf("beef = %v, want Accidental", got)
+	}
+}
+
+func TestConceptStats(t *testing.T) {
+	o, k := fixture(t)
+	s := o.ConceptStats(k, "animal")
+	if s.Instances != 5 || s.Correct != 4 || s.Errors != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.IntentionalDPs != 1 || s.NonDPs != 0 {
+		t.Errorf("DP counts = %+v (only chicken triggers)", s)
+	}
+	if !approx(s.ErrorPct, 0.2) {
+		t.Errorf("error pct = %v", s.ErrorPct)
+	}
+}
+
+func TestKBPrecision(t *testing.T) {
+	o, k := fixture(t)
+	if got := o.KBPrecision(k, nil); !approx(got, 0.8) {
+		t.Errorf("precision = %v, want 0.8", got)
+	}
+	if got := o.KBPrecision(k, []string{"animal"}); !approx(got, 0.8) {
+		t.Errorf("precision(animal) = %v", got)
+	}
+	if got := o.KBPrecision(kb.New(), nil); got != 0 {
+		t.Errorf("precision(empty) = %v", got)
+	}
+}
+
+func TestCleaningMetrics(t *testing.T) {
+	o, k := fixture(t)
+	before := k.Instances("animal") // beef cat chicken dog duck
+	k.RemovePairs([]kb.Pair{{Concept: "animal", Instance: "beef"}, {Concept: "animal", Instance: "cat"}})
+	m := o.Cleaning("animal", before, k)
+	// Removed: beef (error) + cat (correct) -> perror 1/2, rerror 1/1.
+	if !approx(m.PError, 0.5) || !approx(m.RError, 1) {
+		t.Errorf("perror=%v rerror=%v", m.PError, m.RError)
+	}
+	// Remaining: chicken dog duck (all correct) of 4 correct.
+	if !approx(m.PCorr, 1) || !approx(m.RCorr, 0.75) {
+		t.Errorf("pcorr=%v rcorr=%v", m.PCorr, m.RCorr)
+	}
+}
+
+func TestCleaningRemovedSet(t *testing.T) {
+	o, k := fixture(t)
+	before := k.Instances("animal")
+	m := o.CleaningRemovedSet("animal", before, map[string]bool{"beef": true})
+	if !approx(m.PError, 1) || !approx(m.RError, 1) || !approx(m.PCorr, 1) || !approx(m.RCorr, 1) {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestMergeCleaning(t *testing.T) {
+	a := CleaningMetrics{Removed: 2, RemovedErrors: 2, Errors: 2, Remaining: 8, RemainingCorrect: 8, Correct: 8}
+	b := CleaningMetrics{Removed: 2, RemovedErrors: 0, Errors: 2, Remaining: 8, RemainingCorrect: 6, Correct: 8}
+	m := MergeCleaning([]CleaningMetrics{a, b})
+	if !approx(m.PError, 0.5) || !approx(m.RError, 0.5) {
+		t.Errorf("merged perror=%v rerror=%v", m.PError, m.RError)
+	}
+	if !approx(m.PCorr, 14.0/16) || !approx(m.RCorr, 14.0/16) {
+		t.Errorf("merged pcorr=%v rcorr=%v", m.PCorr, m.RCorr)
+	}
+}
+
+func TestDetectionPRF(t *testing.T) {
+	truth := map[string]dp.Label{
+		"a": dp.Intentional, "b": dp.Accidental, "c": dp.NonDP, "d": dp.NonDP,
+	}
+	pred := map[string]dp.Label{
+		"a": dp.Accidental,  // type confusion still counts as detected (binary)
+		"b": dp.NonDP,       // missed
+		"c": dp.Intentional, // false positive
+		"d": dp.NonDP,
+		"x": dp.Intentional, // not in truth: ignored
+	}
+	m := Detection(truth, pred)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 {
+		t.Errorf("TP=%d FP=%d FN=%d", m.TP, m.FP, m.FN)
+	}
+	if !approx(m.Precision, 0.5) || !approx(m.Recall, 0.5) || !approx(m.F1, 0.5) {
+		t.Errorf("PRF = %v %v %v", m.Precision, m.Recall, m.F1)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	truth := map[string]dp.Label{"a": dp.NonDP, "b": dp.Intentional, "c": dp.Accidental}
+	pred := map[string]dp.Label{"a": dp.NonDP, "b": dp.Accidental, "c": dp.Accidental}
+	if got := Accuracy(truth, pred); !approx(got, 2.0/3) {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := Accuracy(truth, map[string]dp.Label{}); got != 0 {
+		t.Errorf("accuracy(no overlap) = %v", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	o, _ := fixture(t)
+	ranked := []string{"dog", "beef", "cat"}
+	if got := o.PrecisionAtK("animal", ranked, 2); !approx(got, 0.5) {
+		t.Errorf("p@2 = %v", got)
+	}
+	if got := o.PrecisionAtK("animal", ranked, 10); !approx(got, 2.0/3) {
+		t.Errorf("p@10 clamps to list: %v", got)
+	}
+	if got := o.PrecisionAtK("animal", nil, 5); got != 0 {
+		t.Errorf("p@k empty = %v", got)
+	}
+}
+
+func TestSentenceCheck(t *testing.T) {
+	o, k := fixture(t)
+	// Extraction 1 resolved to animal; its sentence's truth concept comes
+	// from the generated corpus, so craft expectations via ExtractionBad.
+	bad := o.ExtractionBad(k, 1)
+	m := o.SentenceCheck(k, []int{1}, map[int]bool{1: bad})
+	if bad && m.TP != 1 {
+		t.Errorf("flagging a bad extraction must be TP, got %+v", m)
+	}
+	if !bad && (m.FP != 0 || m.FN != 0) {
+		t.Errorf("nothing flagged on clean extraction: %+v", m)
+	}
+}
+
+func TestSeedLabelCorrect(t *testing.T) {
+	o, k := fixture(t)
+	// Accidental seeds only need the pair to be wrong.
+	if !o.SeedLabelCorrect(k, "animal", "beef", dp.Accidental) {
+		t.Error("accidental seed on wrong pair must be correct")
+	}
+	if o.SeedLabelCorrect(k, "animal", "dog", dp.Accidental) {
+		t.Error("accidental seed on correct pair must be wrong")
+	}
+	if !o.SeedLabelCorrect(k, "animal", "chicken", dp.Intentional) {
+		t.Error("chicken intentional seed must match truth")
+	}
+	if !o.SeedLabelCorrect(k, "animal", "dog", dp.NonDP) {
+		t.Error("dog non-DP seed must match truth")
+	}
+}
+
+func TestSeedQuality(t *testing.T) {
+	truth := map[string]dp.Label{"a": dp.Intentional, "b": dp.NonDP, "c": dp.NonDP}
+	seeds := map[string]dp.Label{"a": dp.Intentional, "b": dp.Accidental}
+	p, r := SeedQuality(truth, seeds)
+	if !approx(p, 0.5) || !approx(r, 2.0/3) {
+		t.Errorf("seed quality = %v %v", p, r)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	q := Quantiles(xs, []float64{0, 0.5, 1})
+	if q[0] != 1 || q[1] != 3 || q[2] != 5 {
+		t.Errorf("quantiles = %v", q)
+	}
+	if q := Quantiles(nil, []float64{0.5}); q[0] != 0 {
+		t.Errorf("empty quantiles = %v", q)
+	}
+	q = Quantiles([]float64{1, 2}, []float64{0.5})
+	if !approx(q[0], 1.5) {
+		t.Errorf("interpolated median = %v", q[0])
+	}
+}

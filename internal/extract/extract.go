@@ -1,0 +1,150 @@
+// Package extract implements the semantic-based iterative bootstrapping
+// extractor the paper builds on (Sec 1, "Semantic-based Extraction"; the
+// Probase mechanism of Wu et al., SIGMOD 2012).
+//
+// Iteration 1 extracts only sentences whose Hearst parse has a single
+// unambiguous candidate concept — the "core pairs" of Sec 3.2.1. Each
+// later iteration revisits the still-ambiguous sentences and resolves a
+// sentence when the knowledge learned so far singles out one candidate:
+// the candidate concept with strictly the most already-known instances
+// among the sentence's candidate instances wins, and those known instances
+// are recorded as the extraction's *triggers*. Ties stay pending and are
+// retried after more knowledge arrives. The loop runs to fixpoint.
+//
+// This mechanism is exactly what makes semantic drift possible: when a
+// polysemous bridge ("chicken") or an earlier erroneous pair is the only
+// known instance in a sentence, the wrong candidate wins and the wrong
+// pairs are learned, which lets them trigger further wrong resolutions.
+package extract
+
+import (
+	"driftclean/internal/corpus"
+	"driftclean/internal/hearst"
+	"driftclean/internal/kb"
+)
+
+// Config controls the extraction loop.
+type Config struct {
+	// MaxIterations bounds the number of semantic iterations (the paper
+	// ran ~100; 99.999% of pairs arrived within 10).
+	MaxIterations int
+}
+
+// DefaultConfig returns the standard extraction configuration.
+func DefaultConfig() Config { return Config{MaxIterations: 50} }
+
+// IterStats records the state after one iteration (Fig 5a's x-axis).
+type IterStats struct {
+	Iteration      int
+	NewExtractions int
+	DistinctPairs  int
+}
+
+// Result is the outcome of an extraction run.
+type Result struct {
+	KB           *kb.KB
+	Iterations   int
+	PerIteration []IterStats
+	// Unparseable counts sentences the Hearst parser rejected;
+	// Unresolved counts ambiguous sentences never disambiguated.
+	Unparseable int
+	Unresolved  int
+}
+
+// Run performs the full iterative extraction over a corpus.
+func Run(c *corpus.Corpus, cfg Config) *Result {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = DefaultConfig().MaxIterations
+	}
+	res := &Result{KB: kb.New()}
+
+	// Parse everything once.
+	var pending []hearst.Parse
+	newInIter := 0
+	for _, s := range c.Sentences {
+		p, ok := hearst.ParseSentence(s.ID, s.Text)
+		if !ok {
+			res.Unparseable++
+			continue
+		}
+		if p.Ambiguous() {
+			pending = append(pending, p)
+			continue
+		}
+		// Iteration 1: unambiguous sentences only (core pairs).
+		res.KB.AddExtraction(p.SentenceID, p.Candidates[0], p.Candidates, p.Instances, nil, 1)
+		newInIter++
+	}
+	res.Iterations = 1
+	res.PerIteration = append(res.PerIteration, IterStats{
+		Iteration:      1,
+		NewExtractions: newInIter,
+		DistinctPairs:  res.KB.NumPairs(),
+	})
+
+	// Semantic iterations: resolve pending sentences against a KB frozen
+	// at the start of each iteration, then apply all resolutions at once
+	// (new knowledge only helps "in the next iteration", Sec 1).
+	for iter := 2; iter <= cfg.MaxIterations && len(pending) > 0; iter++ {
+		type resolution struct {
+			parse    hearst.Parse
+			concept  string
+			triggers []string
+		}
+		var resolved []resolution
+		var still []hearst.Parse
+		for _, p := range pending {
+			concept, triggers, ok := disambiguate(res.KB, p)
+			if !ok {
+				still = append(still, p)
+				continue
+			}
+			resolved = append(resolved, resolution{p, concept, triggers})
+		}
+		if len(resolved) == 0 {
+			break
+		}
+		for _, r := range resolved {
+			res.KB.AddExtraction(r.parse.SentenceID, r.concept, r.parse.Candidates, r.parse.Instances, r.triggers, iter)
+		}
+		pending = still
+		res.Iterations = iter
+		res.PerIteration = append(res.PerIteration, IterStats{
+			Iteration:      iter,
+			NewExtractions: len(resolved),
+			DistinctPairs:  res.KB.NumPairs(),
+		})
+	}
+	res.Unresolved = len(pending)
+	return res
+}
+
+// disambiguate picks the candidate concept with strictly the most known
+// instances among the sentence's instances. It returns ok=false when no
+// candidate has known instances or when the top two candidates tie.
+func disambiguate(k *kb.KB, p hearst.Parse) (concept string, triggers []string, ok bool) {
+	bestCount, secondCount := 0, 0
+	var best string
+	var bestKnown []string
+	for _, c := range p.Candidates {
+		var known []string
+		for _, e := range p.Instances {
+			if k.Has(c, e) {
+				known = append(known, e)
+			}
+		}
+		switch {
+		case len(known) > bestCount:
+			secondCount = bestCount
+			bestCount = len(known)
+			best = c
+			bestKnown = known
+		case len(known) > secondCount:
+			secondCount = len(known)
+		}
+	}
+	if bestCount == 0 || bestCount == secondCount {
+		return "", nil, false
+	}
+	return best, bestKnown, true
+}

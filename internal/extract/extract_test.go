@@ -1,0 +1,158 @@
+package extract
+
+import (
+	"testing"
+
+	"driftclean/internal/corpus"
+	"driftclean/internal/eval"
+	"driftclean/internal/world"
+)
+
+func testWorld() *world.World {
+	cfg := world.DefaultConfig()
+	cfg.NumDomains = 4
+	cfg.InstancesPerConceptMin = 60
+	cfg.InstancesPerConceptMax = 150
+	return world.New(cfg)
+}
+
+func testCorpus(w *world.World, n int) *corpus.Corpus {
+	cfg := corpus.DefaultConfig()
+	cfg.NumSentences = n
+	return corpus.Generate(w, cfg)
+}
+
+func TestRunBasics(t *testing.T) {
+	w := testWorld()
+	c := testCorpus(w, 20000)
+	res := Run(c, DefaultConfig())
+	if res.KB.NumPairs() == 0 {
+		t.Fatal("no pairs extracted")
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("only %d iterations; semantic iterations never fired", res.Iterations)
+	}
+	if len(res.PerIteration) != res.Iterations {
+		t.Fatalf("PerIteration has %d entries for %d iterations", len(res.PerIteration), res.Iterations)
+	}
+}
+
+func TestPairsGrowAcrossIterations(t *testing.T) {
+	w := testWorld()
+	c := testCorpus(w, 20000)
+	res := Run(c, DefaultConfig())
+	first := res.PerIteration[0].DistinctPairs
+	last := res.PerIteration[len(res.PerIteration)-1].DistinctPairs
+	if last <= first {
+		t.Fatalf("pairs did not grow: iter1=%d final=%d", first, last)
+	}
+	for i := 1; i < len(res.PerIteration); i++ {
+		if res.PerIteration[i].DistinctPairs < res.PerIteration[i-1].DistinctPairs {
+			t.Fatal("distinct pairs must be monotone during extraction")
+		}
+	}
+}
+
+// TestSemanticDriftOccurs is the headline property of the substrate: the
+// extraction must reproduce the paper's Fig 5(a) shape — high precision in
+// iteration 1, substantially degraded after the semantic iterations.
+func TestSemanticDriftOccurs(t *testing.T) {
+	w := testWorld()
+	c := testCorpus(w, 40000)
+	res := Run(c, DefaultConfig())
+	oracle := eval.NewOracle(w, c)
+
+	corePrecision := precisionAtIteration(oracle, res, 1)
+	finalPrecision := oracle.KBPrecision(res.KB, nil)
+	t.Logf("core precision %.3f, final precision %.3f, pairs %d -> %d, iterations %d",
+		corePrecision, finalPrecision,
+		res.PerIteration[0].DistinctPairs, res.KB.NumPairs(), res.Iterations)
+
+	if corePrecision < 0.85 {
+		t.Errorf("iteration-1 precision %.3f, want >= 0.85 (paper: >90%%)", corePrecision)
+	}
+	if finalPrecision > corePrecision-0.2 {
+		t.Errorf("final precision %.3f vs core %.3f: drift too weak (paper: drops below 50%%)",
+			finalPrecision, corePrecision)
+	}
+}
+
+// precisionAtIteration computes precision over pairs first seen at or
+// before the given iteration.
+func precisionAtIteration(o *eval.Oracle, res *Result, iter int) float64 {
+	correct, total := 0, 0
+	for _, concept := range res.KB.Concepts() {
+		for _, e := range res.KB.InstancesAtIteration(concept, iter) {
+			total++
+			if o.PairCorrect(concept, e) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestTriggersRecorded(t *testing.T) {
+	w := testWorld()
+	c := testCorpus(w, 20000)
+	res := Run(c, DefaultConfig())
+	triggered := 0
+	for id := 0; id < res.KB.NumExtractions(); id++ {
+		ex := res.KB.Extraction(id)
+		if ex.Iteration == 1 {
+			if len(ex.Triggers) != 0 {
+				t.Fatal("iteration-1 extraction has triggers")
+			}
+			continue
+		}
+		if len(ex.Triggers) == 0 {
+			t.Fatal("semantic-iteration extraction without triggers")
+		}
+		triggered++
+		// Triggers must have been extracted instances of the same concept.
+		for _, trig := range ex.Triggers {
+			if !res.KB.Has(ex.Concept, trig) {
+				t.Fatalf("trigger %q not in KB under %q", trig, ex.Concept)
+			}
+		}
+	}
+	if triggered == 0 {
+		t.Fatal("no triggered extractions at all")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w := testWorld()
+	c := testCorpus(w, 5000)
+	r1 := Run(c, DefaultConfig())
+	r2 := Run(c, DefaultConfig())
+	if r1.KB.NumPairs() != r2.KB.NumPairs() || r1.Iterations != r2.Iterations {
+		t.Fatal("extraction is not deterministic")
+	}
+}
+
+func TestMaxIterationsRespected(t *testing.T) {
+	w := testWorld()
+	c := testCorpus(w, 20000)
+	res := Run(c, Config{MaxIterations: 3})
+	if res.Iterations > 3 {
+		t.Fatalf("ran %d iterations with MaxIterations=3", res.Iterations)
+	}
+}
+
+func TestUnresolvedAccounting(t *testing.T) {
+	w := testWorld()
+	c := testCorpus(w, 20000)
+	res := Run(c, DefaultConfig())
+	resolved := 0
+	for _, it := range res.PerIteration {
+		resolved += it.NewExtractions
+	}
+	if resolved+res.Unresolved+res.Unparseable != c.Len() {
+		t.Fatalf("accounting mismatch: resolved %d + unresolved %d + unparseable %d != %d sentences",
+			resolved, res.Unresolved, res.Unparseable, c.Len())
+	}
+}

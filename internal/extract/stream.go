@@ -1,0 +1,120 @@
+package extract
+
+import (
+	"driftclean/internal/corpus"
+	"driftclean/internal/hearst"
+	"driftclean/internal/kb"
+)
+
+// Extractor is the incremental form of Run: sentences arrive in batches
+// (the web is crawled continuously; Probase-style systems extend their
+// KB rather than rebuild it), each Extend run resolves what the current
+// knowledge allows and keeps the rest pending for later batches.
+//
+// Unambiguous sentences always enter as iteration-1 (core-quality)
+// evidence regardless of when they arrive — "core" means unambiguous
+// support, not chronology. Ambiguous sentences resolve at the semantic
+// iteration that disambiguates them.
+type Extractor struct {
+	cfg Config
+	kb  *kb.KB
+
+	pending     []hearst.Parse
+	iteration   int
+	perIter     []IterStats
+	unparseable int
+}
+
+// NewExtractor creates an empty incremental extractor.
+func NewExtractor(cfg Config) *Extractor {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = DefaultConfig().MaxIterations
+	}
+	return &Extractor{cfg: cfg, kb: kb.New(), iteration: 1}
+}
+
+// KB exposes the knowledge base being built.
+func (x *Extractor) KB() *kb.KB { return x.kb }
+
+// Pending returns the number of ambiguous sentences awaiting resolution.
+func (x *Extractor) Pending() int { return len(x.pending) }
+
+// PerIteration returns the accumulated iteration statistics.
+func (x *Extractor) PerIteration() []IterStats { return x.perIter }
+
+// Add parses and ingests a batch of sentences: unambiguous parses are
+// extracted immediately as core evidence; ambiguous parses join the
+// pending pool. It returns the number of core extractions made.
+func (x *Extractor) Add(sentences []corpus.Sentence) int {
+	core := 0
+	for _, s := range sentences {
+		p, ok := hearst.ParseSentence(s.ID, s.Text)
+		if !ok {
+			x.unparseable++
+			continue
+		}
+		if p.Ambiguous() {
+			x.pending = append(x.pending, p)
+			continue
+		}
+		x.kb.AddExtraction(p.SentenceID, p.Candidates[0], p.Candidates, p.Instances, nil, 1)
+		core++
+	}
+	if core > 0 {
+		x.perIter = append(x.perIter, IterStats{
+			Iteration:      1,
+			NewExtractions: core,
+			DistinctPairs:  x.kb.NumPairs(),
+		})
+	}
+	return core
+}
+
+// Extend runs semantic iterations over the pending pool until a fixpoint
+// or the iteration budget, returning the number of sentences resolved.
+func (x *Extractor) Extend() int {
+	resolvedTotal := 0
+	for iter := 0; iter < x.cfg.MaxIterations && len(x.pending) > 0; iter++ {
+		x.iteration++
+		type resolution struct {
+			parse    hearst.Parse
+			concept  string
+			triggers []string
+		}
+		var resolved []resolution
+		var still []hearst.Parse
+		for _, p := range x.pending {
+			concept, triggers, ok := disambiguate(x.kb, p)
+			if !ok {
+				still = append(still, p)
+				continue
+			}
+			resolved = append(resolved, resolution{p, concept, triggers})
+		}
+		if len(resolved) == 0 {
+			break
+		}
+		for _, r := range resolved {
+			x.kb.AddExtraction(r.parse.SentenceID, r.concept, r.parse.Candidates, r.parse.Instances, r.triggers, x.iteration)
+		}
+		x.pending = still
+		resolvedTotal += len(resolved)
+		x.perIter = append(x.perIter, IterStats{
+			Iteration:      x.iteration,
+			NewExtractions: len(resolved),
+			DistinctPairs:  x.kb.NumPairs(),
+		})
+	}
+	return resolvedTotal
+}
+
+// Result assembles a Run-compatible result from the current state.
+func (x *Extractor) Result() *Result {
+	return &Result{
+		KB:           x.kb,
+		Iterations:   x.iteration,
+		PerIteration: append([]IterStats(nil), x.perIter...),
+		Unparseable:  x.unparseable,
+		Unresolved:   len(x.pending),
+	}
+}

@@ -1,0 +1,182 @@
+// Package hearst implements the tokenizer and the Hearst "such as" pattern
+// parser the iterative extractor runs on (paper Sec 2.1).
+//
+// The parser is deliberately *naive* in exactly the way the paper
+// describes: it proposes every noun phrase to the left of "such as" as a
+// candidate concept when the head is concept-preposition-concept
+// ("animal from country such as ..."), and it attaches "such as" to the
+// *nearest* noun phrase when the head uses "other than" — which mis-parses
+// "animals other than dogs such as cats" into (cat isA dog), the paper's
+// Accidental-DP example. Resolving among multiple candidates is not the
+// parser's job; that is what the semantic-based iterations do.
+package hearst
+
+import "strings"
+
+// Parse is the result of parsing one sentence.
+type Parse struct {
+	SentenceID int
+	// Candidates are the candidate concept tokens, in sentence order. One
+	// candidate means the sentence is unambiguous.
+	Candidates []string
+	// Instances are the candidate instance tokens after "such as".
+	Instances []string
+	// OtherThan marks the mis-parse-hazard construction for diagnostics.
+	OtherThan bool
+}
+
+// Ambiguous reports whether the parse has more than one candidate concept.
+func (p *Parse) Ambiguous() bool { return len(p.Candidates) > 1 }
+
+// leadInWords are discourse lead-ins stripped before the concept head.
+var leadInWords = map[string]bool{
+	"many": true, "common": true, "popular": true, "various": true,
+	"some": true, "several": true, "most": true,
+}
+
+// prepositions connect a head concept to a modifier concept.
+var prepositions = map[string]bool{"from": true, "in": true, "of": true}
+
+// Tokenize splits a sentence into tokens on whitespace. Commas and the
+// final period are expected to be their own tokens (as the corpus
+// generator emits them).
+func Tokenize(s string) []string { return strings.Fields(s) }
+
+// ParseSentence parses one Hearst-pattern sentence. Four patterns are
+// recognized:
+//
+//	forward:  "C such as e1 , e2 and e3 ."
+//	          "C including e1 , e2 and e3 ."
+//	          "C , especially e1 and e2 ."
+//	reversed: "e1 , e2 and other C ."
+//
+// It returns ok=false when no well-formed pattern is present.
+func ParseSentence(id int, text string) (Parse, bool) {
+	return parseTokens(id, Tokenize(text))
+}
+
+func parseTokens(id int, tokens []string) (Parse, bool) {
+	if cut, width := findForwardMarker(tokens); cut >= 0 {
+		left := trimTrailingComma(tokens[:cut])
+		right := tokens[cut+width:]
+		candidates, otherThan, ok := parseHead(left)
+		if !ok {
+			return Parse{}, false
+		}
+		instances := parseInstanceList(right)
+		if len(instances) == 0 {
+			return Parse{}, false
+		}
+		return Parse{
+			SentenceID: id,
+			Candidates: candidates,
+			Instances:  instances,
+			OtherThan:  otherThan,
+		}, true
+	}
+	if cut := findAndOther(tokens); cut >= 0 {
+		instances := parseInstanceList(tokens[:cut])
+		head := stripPeriod(tokens[cut+2:])
+		candidates, otherThan, ok := parseHead(head)
+		if !ok || otherThan || len(instances) == 0 {
+			return Parse{}, false
+		}
+		return Parse{
+			SentenceID: id,
+			Candidates: candidates,
+			Instances:  instances,
+		}, true
+	}
+	return Parse{}, false
+}
+
+// findForwardMarker locates the first forward pattern marker and returns
+// its index and token width, or (-1, 0).
+func findForwardMarker(tokens []string) (idx, width int) {
+	for i := 0; i < len(tokens); i++ {
+		switch tokens[i] {
+		case "such":
+			if i+1 < len(tokens) && tokens[i+1] == "as" {
+				return i, 2
+			}
+		case "including", "especially":
+			return i, 1
+		}
+	}
+	return -1, 0
+}
+
+// findAndOther locates the "and other" bigram of the reversed pattern.
+func findAndOther(tokens []string) int {
+	for i := 0; i+2 < len(tokens); i++ {
+		if tokens[i] == "and" && tokens[i+1] == "other" {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimTrailingComma(tokens []string) []string {
+	if n := len(tokens); n > 0 && tokens[n-1] == "," {
+		return tokens[:n-1]
+	}
+	return tokens
+}
+
+func stripPeriod(tokens []string) []string {
+	if n := len(tokens); n > 0 && tokens[n-1] == "." {
+		return tokens[:n-1]
+	}
+	return tokens
+}
+
+// parseHead interprets the tokens before "such as".
+//
+// Grammar (after stripping lead-ins):
+//
+//	NP                       -> candidates {NP}
+//	NP  prep        NP'      -> candidates {NP, NP'}
+//	NP  other than  NP'      -> candidates {NP'}   (naive nearest attachment)
+func parseHead(left []string) (candidates []string, otherThan, ok bool) {
+	for len(left) > 0 && leadInWords[left[0]] {
+		left = left[1:]
+	}
+	switch {
+	case len(left) == 1:
+		return []string{left[0]}, false, true
+	case len(left) == 3 && prepositions[left[1]]:
+		return []string{left[0], left[2]}, false, true
+	case len(left) == 4 && left[1] == "other" && left[2] == "than":
+		// The flaw: "such as" attaches to the nearest noun phrase.
+		return []string{left[3]}, true, true
+	default:
+		return nil, false, false
+	}
+}
+
+// parseInstanceList reads "e1 , e2 and e3 ." style token lists.
+func parseInstanceList(right []string) []string {
+	var out []string
+	for _, tok := range right {
+		switch tok {
+		case ",", "and", ".", "":
+			continue
+		default:
+			out = append(out, tok)
+		}
+	}
+	return dedup(out)
+}
+
+func dedup(xs []string) []string {
+	seen := make(map[string]struct{}, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if _, dup := seen[x]; dup {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}

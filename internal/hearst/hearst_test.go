@@ -1,0 +1,184 @@
+package hearst
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustParse(t *testing.T, text string) Parse {
+	t.Helper()
+	p, ok := ParseSentence(1, text)
+	if !ok {
+		t.Fatalf("ParseSentence(%q) failed", text)
+	}
+	return p
+}
+
+func TestUnambiguousSentence(t *testing.T) {
+	p := mustParse(t, "animal such as dog , cat and pig .")
+	if p.Ambiguous() {
+		t.Error("single-candidate sentence reported ambiguous")
+	}
+	if !reflect.DeepEqual(p.Candidates, []string{"animal"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+	if !reflect.DeepEqual(p.Instances, []string{"dog", "cat", "pig"}) {
+		t.Errorf("Instances = %v", p.Instances)
+	}
+}
+
+func TestLeadInStripped(t *testing.T) {
+	p := mustParse(t, "common animal such as dog .")
+	if !reflect.DeepEqual(p.Candidates, []string{"animal"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+}
+
+func TestModifierSentenceAmbiguous(t *testing.T) {
+	p := mustParse(t, "animal from country such as giraffe and lion .")
+	if !p.Ambiguous() {
+		t.Error("modifier sentence must be ambiguous")
+	}
+	if !reflect.DeepEqual(p.Candidates, []string{"animal", "country"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+	if !reflect.DeepEqual(p.Instances, []string{"giraffe", "lion"}) {
+		t.Errorf("Instances = %v", p.Instances)
+	}
+}
+
+func TestModifierAllPrepositions(t *testing.T) {
+	for _, prep := range []string{"from", "in", "of"} {
+		p := mustParse(t, "food "+prep+" animal such as beef .")
+		if len(p.Candidates) != 2 {
+			t.Errorf("prep %q: candidates %v", prep, p.Candidates)
+		}
+	}
+}
+
+func TestOtherThanMisparse(t *testing.T) {
+	// The paper's example: "animals other than dogs such as cats" must be
+	// parsed with the nearest NP as concept, yielding (cat isA dog_breed).
+	p := mustParse(t, "animal other than dog_breed such as cat and horse .")
+	if !reflect.DeepEqual(p.Candidates, []string{"dog_breed"}) {
+		t.Errorf("Candidates = %v, want [dog_breed]", p.Candidates)
+	}
+	if !p.OtherThan {
+		t.Error("OtherThan flag not set")
+	}
+	if p.Ambiguous() {
+		t.Error("other-than parse should be single-candidate (that is the flaw)")
+	}
+}
+
+func TestNoSuchAs(t *testing.T) {
+	if _, ok := ParseSentence(1, "dogs are animals ."); ok {
+		t.Error("sentence without such-as should fail to parse")
+	}
+}
+
+func TestEmptyInstanceList(t *testing.T) {
+	if _, ok := ParseSentence(1, "animal such as ."); ok {
+		t.Error("empty instance list should fail to parse")
+	}
+}
+
+func TestMalformedHead(t *testing.T) {
+	if _, ok := ParseSentence(1, "the quick brown fox animal such as dog ."); ok {
+		t.Error("unparseable head should fail")
+	}
+}
+
+func TestDuplicateInstancesDeduped(t *testing.T) {
+	p := mustParse(t, "animal such as dog , dog and cat .")
+	if !reflect.DeepEqual(p.Instances, []string{"dog", "cat"}) {
+		t.Errorf("Instances = %v, want deduped [dog cat]", p.Instances)
+	}
+}
+
+func TestSentenceIDPropagated(t *testing.T) {
+	p, ok := ParseSentence(42, "animal such as dog .")
+	if !ok || p.SentenceID != 42 {
+		t.Errorf("SentenceID = %d, want 42", p.SentenceID)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("a b  c")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Tokenize = %v", got)
+	}
+}
+
+func TestSuchAsInsideInstanceListIgnored(t *testing.T) {
+	// Only the first such-as splits the sentence.
+	p := mustParse(t, "animal such as dog , such and cat .")
+	if !reflect.DeepEqual(p.Instances, []string{"dog", "such", "cat"}) {
+		t.Errorf("Instances = %v", p.Instances)
+	}
+}
+
+func TestIncludingPattern(t *testing.T) {
+	p := mustParse(t, "animal including dog , cat and pig .")
+	if !reflect.DeepEqual(p.Candidates, []string{"animal"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+	if !reflect.DeepEqual(p.Instances, []string{"dog", "cat", "pig"}) {
+		t.Errorf("Instances = %v", p.Instances)
+	}
+}
+
+func TestIncludingWithModifier(t *testing.T) {
+	p := mustParse(t, "animal from country including giraffe and lion .")
+	if !reflect.DeepEqual(p.Candidates, []string{"animal", "country"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+}
+
+func TestEspeciallyPattern(t *testing.T) {
+	// The comma before "especially" must not confuse the head parser.
+	p := mustParse(t, "many animal , especially dog and cat .")
+	if !reflect.DeepEqual(p.Candidates, []string{"animal"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+	if !reflect.DeepEqual(p.Instances, []string{"dog", "cat"}) {
+		t.Errorf("Instances = %v", p.Instances)
+	}
+}
+
+func TestAndOtherReversedPattern(t *testing.T) {
+	p := mustParse(t, "dog , cat and other animal .")
+	if !reflect.DeepEqual(p.Candidates, []string{"animal"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+	if !reflect.DeepEqual(p.Instances, []string{"dog", "cat"}) {
+		t.Errorf("Instances = %v", p.Instances)
+	}
+	if p.OtherThan {
+		t.Error("reversed pattern is not the other-than hazard")
+	}
+}
+
+func TestAndOtherWithModifier(t *testing.T) {
+	p := mustParse(t, "giraffe and lion and other animal from country .")
+	if !reflect.DeepEqual(p.Candidates, []string{"animal", "country"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+	if !reflect.DeepEqual(p.Instances, []string{"giraffe", "lion"}) {
+		t.Errorf("Instances = %v", p.Instances)
+	}
+}
+
+func TestSuchAsTakesPrecedenceOverAndOther(t *testing.T) {
+	// A forward marker earlier in the sentence wins.
+	p := mustParse(t, "animal such as dog and other .")
+	if !reflect.DeepEqual(p.Candidates, []string{"animal"}) {
+		t.Errorf("Candidates = %v", p.Candidates)
+	}
+}
+
+func TestReversedRejectsMalformedHead(t *testing.T) {
+	if _, ok := ParseSentence(1, "dog and other the big animal ."); ok {
+		t.Error("unparseable reversed head should fail")
+	}
+}

@@ -1,0 +1,182 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explanation answers "why is this pair in the KB?": the active
+// extractions supporting it and, for each, the chain of triggers leading
+// back to a first-iteration (core) extraction. This is the user-facing
+// face of the provenance that powers DP cleaning — the same trigger
+// edges the Sec 4.2 roll-back walks forward, walked backward.
+type Explanation struct {
+	Pair  Pair
+	Count int
+	// Supports lists the active extractions that contribute the count.
+	Supports []Support
+}
+
+// Support is one active extraction supporting the pair, with one trigger
+// chain traced back to the core.
+type Support struct {
+	ExtractionID int
+	SentenceID   int
+	Iteration    int
+	Triggers     []string
+	// Chain walks trigger-of-trigger pairs back to a core pair; the
+	// first element is this pair itself, the last is core (iteration 1).
+	Chain []ChainLink
+}
+
+// ChainLink is one step of a provenance chain.
+type ChainLink struct {
+	Pair      Pair
+	Iteration int
+	Core      bool
+}
+
+// Explain traces the provenance of a pair. It returns ok=false when the
+// pair is not currently in the KB. At most maxSupports supporting
+// extractions are traced (0 means all).
+func (kb *KB) Explain(concept, instance string, maxSupports int) (Explanation, bool) {
+	info := kb.pairs[Pair{concept, instance}]
+	if info == nil || info.Count <= 0 {
+		return Explanation{}, false
+	}
+	ex := Explanation{Pair: Pair{concept, instance}, Count: info.Count}
+	for _, exID := range info.Extractions {
+		e := kb.extractions[exID]
+		if !e.Active {
+			continue
+		}
+		s := Support{
+			ExtractionID: e.ID,
+			SentenceID:   e.SentenceID,
+			Iteration:    e.Iteration,
+			Triggers:     append([]string(nil), e.Triggers...),
+			Chain:        kb.traceChain(concept, instance),
+		}
+		ex.Supports = append(ex.Supports, s)
+		if maxSupports > 0 && len(ex.Supports) >= maxSupports {
+			break
+		}
+	}
+	return ex, true
+}
+
+// traceChain follows trigger links from the pair back to a core pair,
+// choosing at each hop the earliest-iteration active supporting
+// extraction and its first still-living trigger. Cycles are cut by a
+// visited set.
+func (kb *KB) traceChain(concept, instance string) []ChainLink {
+	var chain []ChainLink
+	visited := map[string]bool{}
+	cur := instance
+	for {
+		if visited[cur] {
+			break
+		}
+		visited[cur] = true
+		info := kb.pairs[Pair{concept, cur}]
+		if info == nil || info.Count <= 0 {
+			break
+		}
+		link := ChainLink{Pair: Pair{concept, cur}, Iteration: info.FirstIter, Core: info.FirstIter <= 1}
+		chain = append(chain, link)
+		if link.Core {
+			break
+		}
+		next := kb.earliestLivingTrigger(concept, cur)
+		if next == "" {
+			break
+		}
+		cur = next
+	}
+	return chain
+}
+
+// earliestLivingTrigger returns a trigger of the pair's earliest active
+// extraction that is still present in the KB, or "".
+func (kb *KB) earliestLivingTrigger(concept, instance string) string {
+	info := kb.pairs[Pair{concept, instance}]
+	if info == nil {
+		return ""
+	}
+	best := ""
+	bestIter := int(^uint(0) >> 1)
+	for _, exID := range info.Extractions {
+		e := kb.extractions[exID]
+		if !e.Active || e.Iteration >= bestIter {
+			continue
+		}
+		for _, t := range e.Triggers {
+			if kb.Count(concept, t) > 0 {
+				best, bestIter = t, e.Iteration
+				break
+			}
+		}
+	}
+	return best
+}
+
+// Format renders the explanation as human-readable text.
+func (ex Explanation) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d supporting sentence(s)\n", ex.Pair, ex.Count)
+	for i, s := range ex.Supports {
+		fmt.Fprintf(&b, "  support %d: sentence %d, iteration %d", i+1, s.SentenceID, s.Iteration)
+		if len(s.Triggers) > 0 {
+			fmt.Fprintf(&b, ", triggered by %s", strings.Join(s.Triggers, ", "))
+		} else {
+			b.WriteString(", core (unambiguous)")
+		}
+		b.WriteByte('\n')
+		if i == 0 && len(s.Chain) > 1 {
+			b.WriteString("  provenance chain: ")
+			parts := make([]string, len(s.Chain))
+			for j, link := range s.Chain {
+				tag := fmt.Sprintf("iter %d", link.Iteration)
+				if link.Core {
+					tag = "core"
+				}
+				parts[j] = fmt.Sprintf("%s (%s)", link.Pair.Instance, tag)
+			}
+			b.WriteString(strings.Join(parts, " ← "))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// DriftDepth returns, for every active pair of a concept, the length of
+// its provenance chain back to the core (1 for core pairs). Deep chains
+// are the hallmark of drift cascades.
+func (kb *KB) DriftDepth(concept string) map[string]int {
+	out := map[string]int{}
+	for _, e := range kb.Instances(concept) {
+		out[e] = len(kb.traceChain(concept, e))
+	}
+	return out
+}
+
+// TopDrifted returns up to n instances of the concept with the deepest
+// provenance chains, deepest first (ties by name).
+func (kb *KB) TopDrifted(concept string, n int) []string {
+	depth := kb.DriftDepth(concept)
+	names := make([]string, 0, len(depth))
+	for e := range depth {
+		names = append(names, e)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if depth[names[i]] != depth[names[j]] {
+			return depth[names[i]] > depth[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if n < len(names) {
+		names = names[:n]
+	}
+	return names
+}

@@ -1,0 +1,111 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+)
+
+// chainedKB: chicken (core) -> pork (iter 2) -> milk (iter 3).
+func chainedKB() *KB {
+	k := New()
+	k.AddExtraction(10, "animal", nil, []string{"chicken", "dog"}, nil, 1)
+	k.AddExtraction(11, "animal", nil, []string{"pork"}, []string{"chicken"}, 2)
+	k.AddExtraction(12, "animal", nil, []string{"milk"}, []string{"pork"}, 3)
+	return k
+}
+
+func TestExplainCorePair(t *testing.T) {
+	k := chainedKB()
+	ex, ok := k.Explain("animal", "chicken", 0)
+	if !ok {
+		t.Fatal("chicken not explainable")
+	}
+	if ex.Count != 1 || len(ex.Supports) != 1 {
+		t.Fatalf("explanation = %+v", ex)
+	}
+	s := ex.Supports[0]
+	if len(s.Triggers) != 0 || s.Iteration != 1 {
+		t.Errorf("core support = %+v", s)
+	}
+	if len(s.Chain) != 1 || !s.Chain[0].Core {
+		t.Errorf("core chain = %+v", s.Chain)
+	}
+}
+
+func TestExplainTracesChainToCore(t *testing.T) {
+	k := chainedKB()
+	ex, ok := k.Explain("animal", "milk", 0)
+	if !ok {
+		t.Fatal("milk not explainable")
+	}
+	chain := ex.Supports[0].Chain
+	if len(chain) != 3 {
+		t.Fatalf("chain = %+v, want milk<-pork<-chicken", chain)
+	}
+	want := []string{"milk", "pork", "chicken"}
+	for i, link := range chain {
+		if link.Pair.Instance != want[i] {
+			t.Errorf("chain[%d] = %s, want %s", i, link.Pair.Instance, want[i])
+		}
+	}
+	if !chain[2].Core || chain[0].Core {
+		t.Error("chain core flags wrong")
+	}
+}
+
+func TestExplainMissingPair(t *testing.T) {
+	k := chainedKB()
+	if _, ok := k.Explain("animal", "ghost", 0); ok {
+		t.Error("unknown pair must not be explainable")
+	}
+	k.RemovePairs([]Pair{{"animal", "milk"}})
+	if _, ok := k.Explain("animal", "milk", 0); ok {
+		t.Error("removed pair must not be explainable")
+	}
+}
+
+func TestExplainMaxSupports(t *testing.T) {
+	k := New()
+	for i := 0; i < 5; i++ {
+		k.AddExtraction(i, "c", nil, []string{"e"}, nil, 1)
+	}
+	ex, _ := k.Explain("c", "e", 2)
+	if len(ex.Supports) != 2 || ex.Count != 5 {
+		t.Errorf("supports=%d count=%d", len(ex.Supports), ex.Count)
+	}
+}
+
+func TestExplainFormat(t *testing.T) {
+	k := chainedKB()
+	ex, _ := k.Explain("animal", "milk", 0)
+	out := ex.Format()
+	for _, want := range []string{"(milk isA animal)", "triggered by pork", "provenance chain", "chicken (core)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainCycleSafe(t *testing.T) {
+	// a triggers b and b triggers a — the trace must terminate.
+	k := New()
+	k.AddExtraction(0, "c", nil, []string{"a"}, nil, 1)
+	k.AddExtraction(1, "c", nil, []string{"b"}, []string{"a"}, 2)
+	k.AddExtraction(2, "c", nil, []string{"a"}, []string{"b"}, 3)
+	ex, ok := k.Explain("c", "b", 0)
+	if !ok || len(ex.Supports[0].Chain) == 0 {
+		t.Fatal("cycle trace failed")
+	}
+}
+
+func TestDriftDepthAndTopDrifted(t *testing.T) {
+	k := chainedKB()
+	depth := k.DriftDepth("animal")
+	if depth["chicken"] != 1 || depth["pork"] != 2 || depth["milk"] != 3 {
+		t.Errorf("depths = %v", depth)
+	}
+	top := k.TopDrifted("animal", 2)
+	if len(top) != 2 || top[0] != "milk" || top[1] != "pork" {
+		t.Errorf("TopDrifted = %v", top)
+	}
+}

@@ -1,0 +1,450 @@
+// Package kb implements the isA knowledge base underlying the
+// semantic-based iterative extractor. Besides (concept, instance) pairs
+// with support counts, it records full provenance: which sentence produced
+// each extraction and which already-known pairs *triggered* it (paper
+// Sec 2.1: "an existing instance triggers the extraction of some other
+// instances"). This trigger graph is the single substrate behind
+//
+//   - the sub-instance sets sub(e) used by features f1 and f4 (Sec 3.1),
+//   - the random-walk scoring graph (Sec 5.2),
+//   - ground-truth DP labeling in evaluation, and
+//   - the cascading roll-back of Sec 4.2: removing a pair rolls back
+//     every extraction that depended on it, which can zero other pairs'
+//     counts and propagate further.
+package kb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pair is an isA pair: Instance isA Concept.
+type Pair struct {
+	Concept  string
+	Instance string
+}
+
+func (p Pair) String() string { return fmt.Sprintf("(%s isA %s)", p.Instance, p.Concept) }
+
+// Extraction records one resolved sentence parse.
+type Extraction struct {
+	ID         int
+	SentenceID int
+	Concept    string   // the concept the extractor chose
+	Candidates []string // the sentence's candidate concepts at parse time
+	Instances  []string // instance tokens extracted under Concept
+	Triggers   []string // instances already known under Concept that enabled this resolution; empty in iteration 1
+	Iteration  int      // 1-based extraction iteration
+	Active     bool     // false once rolled back
+}
+
+// PairInfo aggregates the state of one isA pair.
+type PairInfo struct {
+	Count       int   // number of active extractions supporting the pair
+	FirstIter   int   // iteration of the first supporting extraction
+	Extractions []int // extraction IDs supporting the pair (including inactive)
+}
+
+// KB is the mutable knowledge base. It is not safe for concurrent use.
+type KB struct {
+	pairs       map[Pair]*PairInfo
+	extractions []*Extraction
+	// triggeredBy[p] lists extraction IDs in which pair p served as a
+	// trigger.
+	triggeredBy map[Pair][]int
+	byConcept   map[string]map[string]*PairInfo // concept -> instance -> info
+}
+
+// New returns an empty knowledge base.
+func New() *KB {
+	return &KB{
+		pairs:       make(map[Pair]*PairInfo),
+		triggeredBy: make(map[Pair][]int),
+		byConcept:   make(map[string]map[string]*PairInfo),
+	}
+}
+
+// AddExtraction records a resolved sentence: all instances are extracted
+// under concept, enabled by the given trigger instances (nil for
+// iteration-1 core extractions). It returns the new extraction's ID.
+func (kb *KB) AddExtraction(sentenceID int, concept string, candidates, instances, triggers []string, iteration int) int {
+	ex := &Extraction{
+		ID:         len(kb.extractions),
+		SentenceID: sentenceID,
+		Concept:    concept,
+		Candidates: append([]string(nil), candidates...),
+		Instances:  append([]string(nil), instances...),
+		Triggers:   append([]string(nil), triggers...),
+		Iteration:  iteration,
+		Active:     true,
+	}
+	kb.extractions = append(kb.extractions, ex)
+	for _, e := range ex.Instances {
+		kb.supportPair(Pair{concept, e}, ex)
+	}
+	for _, trig := range ex.Triggers {
+		p := Pair{concept, trig}
+		kb.triggeredBy[p] = append(kb.triggeredBy[p], ex.ID)
+	}
+	return ex.ID
+}
+
+func (kb *KB) supportPair(p Pair, ex *Extraction) {
+	info := kb.pairs[p]
+	if info == nil {
+		info = &PairInfo{FirstIter: ex.Iteration}
+		kb.pairs[p] = info
+		m := kb.byConcept[p.Concept]
+		if m == nil {
+			m = make(map[string]*PairInfo)
+			kb.byConcept[p.Concept] = m
+		}
+		m[p.Instance] = info
+	}
+	info.Count++
+	if ex.Iteration < info.FirstIter {
+		info.FirstIter = ex.Iteration
+	}
+	info.Extractions = append(info.Extractions, ex.ID)
+}
+
+// Has reports whether the pair is currently in the KB with positive count.
+func (kb *KB) Has(concept, instance string) bool {
+	info := kb.pairs[Pair{concept, instance}]
+	return info != nil && info.Count > 0
+}
+
+// Count returns the active support count of a pair (0 if absent).
+func (kb *KB) Count(concept, instance string) int {
+	if info := kb.pairs[Pair{concept, instance}]; info != nil {
+		return info.Count
+	}
+	return 0
+}
+
+// Info returns the PairInfo for a pair, or nil.
+func (kb *KB) Info(concept, instance string) *PairInfo {
+	return kb.pairs[Pair{concept, instance}]
+}
+
+// Extraction returns the extraction with the given ID.
+func (kb *KB) Extraction(id int) *Extraction { return kb.extractions[id] }
+
+// NumExtractions returns the total number of recorded extractions
+// (including rolled-back ones).
+func (kb *KB) NumExtractions() int { return len(kb.extractions) }
+
+// Instances returns the instances currently under a concept, sorted.
+func (kb *KB) Instances(concept string) []string {
+	m := kb.byConcept[concept]
+	out := make([]string, 0, len(m))
+	for e, info := range m {
+		if info.Count > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InstancesAtIteration returns instances whose first supporting extraction
+// happened at or before the given iteration (E(C, i) in the paper's
+// notation), sorted. Rolled-back pairs are excluded.
+func (kb *KB) InstancesAtIteration(concept string, iteration int) []string {
+	m := kb.byConcept[concept]
+	out := make([]string, 0, len(m))
+	for e, info := range m {
+		if info.Count > 0 && info.FirstIter <= iteration {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Concepts returns all concepts that currently have at least one instance,
+// sorted.
+func (kb *KB) Concepts() []string {
+	out := make([]string, 0, len(kb.byConcept))
+	for c, m := range kb.byConcept {
+		for _, info := range m {
+			if info.Count > 0 {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumPairs returns the number of distinct pairs with positive count.
+func (kb *KB) NumPairs() int {
+	n := 0
+	for _, info := range kb.pairs {
+		if info.Count > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Pairs returns all active pairs, sorted by concept then instance.
+func (kb *KB) Pairs() []Pair {
+	out := make([]Pair, 0, len(kb.pairs))
+	for p, info := range kb.pairs {
+		if info.Count > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Concept != out[j].Concept {
+			return out[i].Concept < out[j].Concept
+		}
+		return out[i].Instance < out[j].Instance
+	})
+	return out
+}
+
+// TriggeredExtractions returns the IDs of extractions in which the pair
+// served as a trigger (active and inactive).
+func (kb *KB) TriggeredExtractions(concept, instance string) []int {
+	return kb.triggeredBy[Pair{concept, instance}]
+}
+
+// SubInstances returns sub(e): the set of instances whose extraction under
+// the concept was triggered by e, across all active extractions where e is
+// a trigger (paper Sec 2.1). The trigger itself is excluded.
+func (kb *KB) SubInstances(concept, instance string) []string {
+	seen := map[string]struct{}{}
+	for _, exID := range kb.triggeredBy[Pair{concept, instance}] {
+		ex := kb.extractions[exID]
+		if !ex.Active {
+			continue
+		}
+		for _, e := range ex.Instances {
+			if e == instance {
+				continue
+			}
+			isTrigger := false
+			for _, t := range ex.Triggers {
+				if t == e {
+					isTrigger = true
+					break
+				}
+			}
+			if isTrigger {
+				continue
+			}
+			seen[e] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConceptsOfInstance returns all concepts currently holding the instance
+// with positive count, sorted. This is a full scan; callers that need
+// many lookups should build their own reverse index from Pairs().
+func (kb *KB) ConceptsOfInstance(instance string) []string {
+	var out []string
+	for c, m := range kb.byConcept {
+		if info := m[instance]; info != nil && info.Count > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RollbackResult reports the effect of a roll-back cascade.
+type RollbackResult struct {
+	PairsRemoved       []Pair
+	ExtractionsRolled  int
+	CascadeDepth       int
+	CountsDecremented  int
+	InitiallyRequested int
+}
+
+// RemovePairs removes the given pairs outright and rolls back the cascade
+// of extractions they enabled (paper Sec 4.2): every extraction all of
+// whose triggers are gone is deactivated; deactivation decrements the
+// counts of its extracted pairs; pairs reaching zero are removed and the
+// process repeats until a fixpoint.
+func (kb *KB) RemovePairs(pairs []Pair) RollbackResult {
+	res := RollbackResult{InitiallyRequested: len(pairs)}
+	removedPairs := map[Pair]bool{}
+	queue := make([]Pair, 0, len(pairs))
+	for _, p := range pairs {
+		info := kb.pairs[p]
+		if info == nil || info.Count <= 0 || removedPairs[p] {
+			continue
+		}
+		// Forced removal: zero the count regardless of support.
+		res.CountsDecremented += info.Count
+		info.Count = 0
+		removedPairs[p] = true
+		queue = append(queue, p)
+		res.PairsRemoved = append(res.PairsRemoved, p)
+	}
+	depth := 0
+	for len(queue) > 0 {
+		depth++
+		var next []Pair
+		for _, p := range queue {
+			for _, exID := range kb.triggeredBy[p] {
+				ex := kb.extractions[exID]
+				if !ex.Active {
+					continue
+				}
+				if kb.anyTriggerAlive(ex) {
+					continue
+				}
+				next = append(next, kb.rollbackExtraction(ex, &res)...)
+			}
+		}
+		queue = next
+		if len(next) > 0 {
+			res.CascadeDepth = depth
+		}
+	}
+	sort.Slice(res.PairsRemoved, func(i, j int) bool {
+		a, b := res.PairsRemoved[i], res.PairsRemoved[j]
+		if a.Concept != b.Concept {
+			return a.Concept < b.Concept
+		}
+		return a.Instance < b.Instance
+	})
+	return res
+}
+
+// RemovePairsNoCascade removes the given pairs outright without rolling
+// back the extractions they enabled — the "one-shot removal" ablation
+// contrasted with the paper's Sec 4.2 cascade.
+func (kb *KB) RemovePairsNoCascade(pairs []Pair) RollbackResult {
+	res := RollbackResult{InitiallyRequested: len(pairs)}
+	for _, p := range pairs {
+		info := kb.pairs[p]
+		if info == nil || info.Count <= 0 {
+			continue
+		}
+		res.CountsDecremented += info.Count
+		info.Count = 0
+		res.PairsRemoved = append(res.PairsRemoved, p)
+	}
+	sort.Slice(res.PairsRemoved, func(i, j int) bool {
+		a, b := res.PairsRemoved[i], res.PairsRemoved[j]
+		if a.Concept != b.Concept {
+			return a.Concept < b.Concept
+		}
+		return a.Instance < b.Instance
+	})
+	return res
+}
+
+// RollbackExtractions deactivates the given extractions directly (used for
+// Intentional-DP sentence-level cleaning, Sec 4.1) and cascades.
+func (kb *KB) RollbackExtractions(ids []int) RollbackResult {
+	var res RollbackResult
+	res.InitiallyRequested = len(ids)
+	queue := make([]Pair, 0)
+	for _, id := range ids {
+		ex := kb.extractions[id]
+		if ex == nil || !ex.Active {
+			continue
+		}
+		queue = append(queue, kb.rollbackExtraction(ex, &res)...)
+	}
+	depth := 0
+	for len(queue) > 0 {
+		depth++
+		var next []Pair
+		for _, p := range queue {
+			for _, exID := range kb.triggeredBy[p] {
+				ex := kb.extractions[exID]
+				if !ex.Active {
+					continue
+				}
+				if kb.anyTriggerAlive(ex) {
+					continue
+				}
+				next = append(next, kb.rollbackExtraction(ex, &res)...)
+			}
+		}
+		queue = next
+		if len(next) > 0 {
+			res.CascadeDepth = depth
+		}
+	}
+	return res
+}
+
+// anyTriggerAlive reports whether at least one trigger pair of ex is still
+// present — extractions remain supported while any trigger survives.
+func (kb *KB) anyTriggerAlive(ex *Extraction) bool {
+	for _, t := range ex.Triggers {
+		if kb.Count(ex.Concept, t) > 0 {
+			return true
+		}
+	}
+	return len(ex.Triggers) == 0 // core extractions have no triggers and never cascade away
+}
+
+// rollbackExtraction deactivates ex, decrements its pairs and returns the
+// pairs whose count reached zero.
+func (kb *KB) rollbackExtraction(ex *Extraction, res *RollbackResult) []Pair {
+	ex.Active = false
+	res.ExtractionsRolled++
+	var zeroed []Pair
+	for _, e := range ex.Instances {
+		p := Pair{ex.Concept, e}
+		info := kb.pairs[p]
+		if info == nil || info.Count <= 0 {
+			continue
+		}
+		info.Count--
+		res.CountsDecremented++
+		if info.Count == 0 {
+			zeroed = append(zeroed, p)
+			res.PairsRemoved = append(res.PairsRemoved, p)
+		}
+	}
+	return zeroed
+}
+
+// Snapshot captures the distinct active pair count per concept, used for
+// the per-iteration curves of Fig 5(a).
+type Snapshot struct {
+	Iteration     int
+	DistinctPairs int
+}
+
+// Stats returns aggregate KB statistics.
+type Stats struct {
+	DistinctPairs     int
+	TotalCount        int
+	Concepts          int
+	ActiveExtractions int
+}
+
+// Stats computes the current aggregate statistics.
+func (kb *KB) Stats() Stats {
+	var s Stats
+	s.Concepts = len(kb.Concepts())
+	for _, info := range kb.pairs {
+		if info.Count > 0 {
+			s.DistinctPairs++
+			s.TotalCount += info.Count
+		}
+	}
+	for _, ex := range kb.extractions {
+		if ex.Active {
+			s.ActiveExtractions++
+		}
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package kb
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// snapshot is the gob wire format of a KB. Extraction records plus pair
+// states fully determine the KB; the trigger and concept indexes are
+// rebuilt on load.
+type snapshot struct {
+	Version     int
+	Extractions []Extraction
+	Pairs       []pairState
+}
+
+type pairState struct {
+	Concept, Instance string
+	Count, FirstIter  int
+	Extractions       []int
+}
+
+const snapshotVersion = 1
+
+// WriteTo serializes the KB (including rolled-back extractions and their
+// provenance) to w.
+func (kb *KB) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	snap := snapshot{Version: snapshotVersion}
+	snap.Extractions = make([]Extraction, len(kb.extractions))
+	for i, ex := range kb.extractions {
+		snap.Extractions[i] = *ex
+	}
+	for _, p := range kb.sortedPairKeys() {
+		info := kb.pairs[p]
+		snap.Pairs = append(snap.Pairs, pairState{
+			Concept:     p.Concept,
+			Instance:    p.Instance,
+			Count:       info.Count,
+			FirstIter:   info.FirstIter,
+			Extractions: info.Extractions,
+		})
+	}
+	if err := gob.NewEncoder(cw).Encode(snap); err != nil {
+		return cw.n, fmt.Errorf("kb: encoding snapshot: %w", err)
+	}
+	return cw.n, nil
+}
+
+// sortedPairKeys returns all pair keys (active and zeroed) in
+// deterministic order.
+func (kb *KB) sortedPairKeys() []Pair {
+	out := make([]Pair, 0, len(kb.pairs))
+	for p := range kb.pairs {
+		out = append(out, p)
+	}
+	sortPairs(out)
+	return out
+}
+
+// Read deserializes a KB previously written with WriteTo.
+func Read(r io.Reader) (*KB, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("kb: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("kb: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	kb := New()
+	kb.extractions = make([]*Extraction, len(snap.Extractions))
+	for i := range snap.Extractions {
+		ex := snap.Extractions[i]
+		if ex.ID != i {
+			return nil, fmt.Errorf("kb: extraction %d has ID %d", i, ex.ID)
+		}
+		kb.extractions[i] = &ex
+		// Trigger provenance is kept for inactive extractions too, as in
+		// the live KB (rollback never removes triggeredBy entries).
+		for _, trig := range ex.Triggers {
+			p := Pair{ex.Concept, trig}
+			kb.triggeredBy[p] = append(kb.triggeredBy[p], ex.ID)
+		}
+	}
+	for _, ps := range snap.Pairs {
+		p := Pair{ps.Concept, ps.Instance}
+		info := &PairInfo{Count: ps.Count, FirstIter: ps.FirstIter, Extractions: ps.Extractions}
+		kb.pairs[p] = info
+		m := kb.byConcept[p.Concept]
+		if m == nil {
+			m = make(map[string]*PairInfo)
+			kb.byConcept[p.Concept] = m
+		}
+		m[p.Instance] = info
+	}
+	return kb, nil
+}
+
+// SaveFile writes the KB snapshot to a file.
+func (kb *KB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("kb: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := kb.WriteTo(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("kb: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadFile reads a KB snapshot from a file.
+func LoadFile(path string) (*KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kb: %w", err)
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Concept != ps[j].Concept {
+			return ps[i].Concept < ps[j].Concept
+		}
+		return ps[i].Instance < ps[j].Instance
+	})
+}

@@ -1,0 +1,121 @@
+package kb
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func populated() *KB {
+	k := New()
+	k.AddExtraction(0, "animal", nil, []string{"chicken", "dog"}, nil, 1)
+	k.AddExtraction(1, "food", nil, []string{"beef", "pork"}, nil, 1)
+	k.AddExtraction(2, "animal", []string{"food", "animal"}, []string{"pork", "beef", "chicken"}, []string{"chicken"}, 2)
+	k.AddExtraction(3, "animal", nil, []string{"milk"}, []string{"pork"}, 3)
+	// One rolled-back extraction so inactive state is exercised.
+	id := k.AddExtraction(4, "animal", nil, []string{"cheese"}, []string{"beef"}, 3)
+	k.RollbackExtractions([]int{id})
+	return k
+}
+
+func roundTrip(t *testing.T, k *KB) *KB {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := k.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestPersistRoundTripState(t *testing.T) {
+	orig := populated()
+	got := roundTrip(t, orig)
+	if !reflect.DeepEqual(got.Stats(), orig.Stats()) {
+		t.Fatalf("stats differ: %+v vs %+v", got.Stats(), orig.Stats())
+	}
+	if !reflect.DeepEqual(got.Pairs(), orig.Pairs()) {
+		t.Fatalf("pairs differ")
+	}
+	for _, c := range orig.Concepts() {
+		if !reflect.DeepEqual(got.Instances(c), orig.Instances(c)) {
+			t.Fatalf("instances of %q differ", c)
+		}
+		for _, e := range orig.Instances(c) {
+			if got.Count(c, e) != orig.Count(c, e) {
+				t.Fatalf("count(%s,%s) differs", c, e)
+			}
+			if !reflect.DeepEqual(got.SubInstances(c, e), orig.SubInstances(c, e)) {
+				t.Fatalf("sub(%s,%s) differs", c, e)
+			}
+		}
+	}
+}
+
+func TestPersistPreservesIterations(t *testing.T) {
+	got := roundTrip(t, populated())
+	if !reflect.DeepEqual(got.InstancesAtIteration("animal", 1), []string{"chicken", "dog"}) {
+		t.Errorf("E(animal,1) = %v", got.InstancesAtIteration("animal", 1))
+	}
+}
+
+func TestPersistPreservesInactive(t *testing.T) {
+	got := roundTrip(t, populated())
+	if got.Extraction(4).Active {
+		t.Error("rolled-back extraction resurfaced active")
+	}
+	if got.Has("animal", "cheese") {
+		t.Error("rolled-back pair resurfaced")
+	}
+}
+
+func TestPersistRollbackBehaviorEquivalent(t *testing.T) {
+	orig := populated()
+	got := roundTrip(t, orig)
+	r1 := orig.RemovePairs([]Pair{{"animal", "chicken"}})
+	r2 := got.RemovePairs([]Pair{{"animal", "chicken"}})
+	if !reflect.DeepEqual(r1.PairsRemoved, r2.PairsRemoved) {
+		t.Fatalf("cascade differs after reload: %v vs %v", r1.PairsRemoved, r2.PairsRemoved)
+	}
+	if !reflect.DeepEqual(orig.Pairs(), got.Pairs()) {
+		t.Fatal("post-cascade state differs")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kb.gob")
+	orig := populated()
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPairs() != orig.NumPairs() {
+		t.Fatalf("pairs %d, want %d", got.NumPairs(), orig.NumPairs())
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Error("garbage input should fail to decode")
+	}
+}
+
+func TestPersistEmptyKB(t *testing.T) {
+	got := roundTrip(t, New())
+	if got.NumPairs() != 0 || got.NumExtractions() != 0 {
+		t.Error("empty KB round trip not empty")
+	}
+}

@@ -1,0 +1,191 @@
+package kb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomKB builds a random but structurally valid KB: core extractions
+// first, then triggered extractions whose triggers are existing pairs.
+func randomKB(seed int64) *KB {
+	rng := rand.New(rand.NewSource(seed))
+	k := New()
+	concepts := []string{"c0", "c1", "c2"}
+	instOf := func(i int) string { return fmt.Sprintf("e%d", i) }
+	nInst := 12 + rng.Intn(20)
+	// Core extractions.
+	for s := 0; s < 8; s++ {
+		c := concepts[rng.Intn(len(concepts))]
+		var insts []string
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			insts = append(insts, instOf(rng.Intn(nInst)))
+		}
+		k.AddExtraction(s, c, nil, dedupStr(insts), nil, 1)
+	}
+	// Triggered extractions.
+	for s := 8; s < 40; s++ {
+		c := concepts[rng.Intn(len(concepts))]
+		known := k.Instances(c)
+		if len(known) == 0 {
+			continue
+		}
+		trigger := known[rng.Intn(len(known))]
+		var insts []string
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			insts = append(insts, instOf(rng.Intn(nInst)))
+		}
+		insts = append(insts, trigger)
+		k.AddExtraction(s, c, nil, dedupStr(insts), []string{trigger}, 2+rng.Intn(3))
+	}
+	return k
+}
+
+func dedupStr(xs []string) []string {
+	seen := map[string]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// checkInvariants asserts the structural invariants every KB state must
+// satisfy. Note that an *active* extraction may reference a force-removed
+// pair: Sec 4.2 removes pairs, not the sentences that merely contain
+// them — only extractions whose triggers are all gone roll back.
+func checkInvariants(k *KB) error {
+	for _, p := range k.Pairs() {
+		info := k.Info(p.Concept, p.Instance)
+		if info.Count <= 0 {
+			return fmt.Errorf("active pair %v with count %d", p, info.Count)
+		}
+		// Count never exceeds the active supporting extractions (forced
+		// removals can push it below, never above).
+		active := 0
+		for _, exID := range info.Extractions {
+			if k.Extraction(exID).Active {
+				active++
+			}
+		}
+		if info.Count > active {
+			return fmt.Errorf("pair %v count %d above %d active extractions", p, info.Count, active)
+		}
+	}
+	// The Sec 4.2 fixpoint: no active triggered extraction may survive
+	// with every trigger removed.
+	for id := 0; id < k.NumExtractions(); id++ {
+		ex := k.Extraction(id)
+		if !ex.Active || len(ex.Triggers) == 0 {
+			continue
+		}
+		alive := false
+		for _, t := range ex.Triggers {
+			if k.Has(ex.Concept, t) {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return fmt.Errorf("active extraction %d has no living trigger", id)
+		}
+	}
+	return nil
+}
+
+// Property: invariants hold after construction and after arbitrary
+// removal cascades.
+func TestQuickInvariantsUnderRemoval(t *testing.T) {
+	f := func(seed int64, which uint8) bool {
+		k := randomKB(seed)
+		if err := checkInvariants(k); err != nil {
+			t.Log(err)
+			return false
+		}
+		pairs := k.Pairs()
+		if len(pairs) == 0 {
+			return true
+		}
+		k.RemovePairs([]Pair{pairs[int(which)%len(pairs)]})
+		if err := checkInvariants(k); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing all pairs empties the KB entirely.
+func TestQuickTotalRemovalEmptiesKB(t *testing.T) {
+	f := func(seed int64) bool {
+		k := randomKB(seed)
+		k.RemovePairs(k.Pairs())
+		return k.NumPairs() == 0 && checkInvariants(k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RemovePairs is idempotent — a second identical call changes
+// nothing.
+func TestQuickRemovalIdempotent(t *testing.T) {
+	f := func(seed int64, which uint8) bool {
+		k := randomKB(seed)
+		pairs := k.Pairs()
+		if len(pairs) == 0 {
+			return true
+		}
+		target := []Pair{pairs[int(which)%len(pairs)]}
+		k.RemovePairs(target)
+		statsAfter := k.Stats()
+		res := k.RemovePairs(target)
+		return len(res.PairsRemoved) == 0 && k.Stats() == statsAfter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: persistence round-trips commute with removal — removing a
+// pair before saving equals removing it after loading.
+func TestQuickPersistCommutesWithRemoval(t *testing.T) {
+	f := func(seed int64, which uint8) bool {
+		k1 := randomKB(seed)
+		k2 := roundTripQuick(k1)
+		pairs := k1.Pairs()
+		if len(pairs) == 0 {
+			return true
+		}
+		target := []Pair{pairs[int(which)%len(pairs)]}
+		k1.RemovePairs(target)
+		k2.RemovePairs(target)
+		if k1.NumPairs() != k2.NumPairs() || k1.Stats() != k2.Stats() {
+			return false
+		}
+		return checkInvariants(k2) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func roundTripQuick(k *KB) *KB {
+	var buf bytes.Buffer
+	if _, err := k.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		panic(err)
+	}
+	return got
+}

@@ -1,0 +1,239 @@
+// Package kpca implements the full-rank kernel Principal Component
+// Analysis of Sec 3.3.1 (Schölkopf et al., 1998): a non-linear mapping of
+// the raw 4-dimensional DP features into a Hilbert space, followed by PCA
+// on the centered kernel matrix. Its purpose in the paper is to prevent a
+// detector trained on the rule-labeled seeds — whose labels are built
+// from the mutual-exclusion relation — from over-fitting to the single f2
+// dimension.
+package kpca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"driftclean/internal/linalg"
+)
+
+// Config controls the transformation.
+type Config struct {
+	// Gamma is the RBF kernel width k(x,y) = exp(-gamma*||x-y||²).
+	// Gamma <= 0 selects the median heuristic: 1 / (2·median²) over
+	// pairwise training distances.
+	Gamma float64
+	// MaxComponents caps the output dimensionality r; 0 means no cap.
+	MaxComponents int
+	// MinEigenvalue discards components with eigenvalues below this
+	// multiple of the largest eigenvalue.
+	MinEigenvalue float64
+}
+
+// DefaultConfig caps the representation at 12 components — enough
+// kernel-space expressiveness for the 5 raw features while keeping the
+// multi-task W matrices small.
+func DefaultConfig() Config {
+	return Config{Gamma: 0, MaxComponents: 12, MinEigenvalue: 1e-8}
+}
+
+// Transform is a fitted kernel-PCA mapping.
+type Transform struct {
+	train  [][]float64 // standardized training points
+	means  []float64
+	stds   []float64
+	gamma  float64
+	alphas *linalg.Matrix // n×r normalized eigenvector coefficients
+	rowMNs []float64      // row means of the uncentered kernel matrix
+	allMN  float64        // grand mean of the uncentered kernel matrix
+	r      int
+}
+
+// Fit learns the transformation from training feature vectors. It returns
+// an error when fewer than two points are supplied.
+func Fit(x [][]float64, cfg Config) (*Transform, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, fmt.Errorf("kpca: need at least 2 training points, got %d", n)
+	}
+	if cfg.MaxComponents <= 0 {
+		cfg.MaxComponents = n
+	}
+	if cfg.MinEigenvalue <= 0 {
+		cfg.MinEigenvalue = DefaultConfig().MinEigenvalue
+	}
+	d := len(x[0])
+	t := &Transform{}
+	t.means, t.stds = columnStats(x)
+	t.train = make([][]float64, n)
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("kpca: ragged input: row %d has %d features, want %d", i, len(row), d)
+		}
+		t.train[i] = t.standardize(row)
+	}
+	t.gamma = cfg.Gamma
+	if t.gamma <= 0 {
+		t.gamma = medianHeuristic(t.train)
+	}
+
+	// Uncentered kernel matrix.
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		k.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			v := t.kernel(t.train[i], t.train[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	// Save means for centering test points, then center: K' = HKH.
+	t.rowMNs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += k.At(i, j)
+		}
+		t.rowMNs[i] = s / float64(n)
+		t.allMN += s
+	}
+	t.allMN /= float64(n * n)
+	kc := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kc.Set(i, j, k.At(i, j)-t.rowMNs[i]-t.rowMNs[j]+t.allMN)
+		}
+	}
+
+	vals, vecs := linalg.EigenSym(kc)
+	if len(vals) == 0 || vals[0] <= 0 {
+		return nil, fmt.Errorf("kpca: centered kernel matrix has no positive eigenvalues")
+	}
+	r := 0
+	for r < len(vals) && r < cfg.MaxComponents && vals[r] > cfg.MinEigenvalue*vals[0] {
+		r++
+	}
+	t.r = r
+	// Normalize eigenvectors so projected coordinates have unit variance
+	// structure: alpha_p = v_p / sqrt(lambda_p).
+	t.alphas = linalg.NewMatrix(n, r)
+	for p := 0; p < r; p++ {
+		scale := 1 / math.Sqrt(vals[p])
+		for i := 0; i < n; i++ {
+			t.alphas.Set(i, p, vecs.At(i, p)*scale)
+		}
+	}
+	return t, nil
+}
+
+// Components returns the output dimensionality r.
+func (t *Transform) Components() int { return t.r }
+
+// Gamma returns the fitted kernel width.
+func (t *Transform) Gamma() float64 { return t.gamma }
+
+// Project maps one raw feature vector into the r-dimensional KPCA space.
+func (t *Transform) Project(x []float64) []float64 {
+	z := t.standardize(x)
+	n := len(t.train)
+	// Kernel row against training points, centered consistently with Fit.
+	kx := make([]float64, n)
+	var mean float64
+	for i, tr := range t.train {
+		kx[i] = t.kernel(z, tr)
+		mean += kx[i]
+	}
+	mean /= float64(n)
+	out := make([]float64, t.r)
+	for p := 0; p < t.r; p++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			centered := kx[i] - mean - t.rowMNs[i] + t.allMN
+			s += t.alphas.At(i, p) * centered
+		}
+		out[p] = s
+	}
+	return out
+}
+
+// ProjectAll maps a batch of raw feature vectors.
+func (t *Transform) ProjectAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = t.Project(row)
+	}
+	return out
+}
+
+func (t *Transform) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d2 += diff * diff
+	}
+	return math.Exp(-t.gamma * d2)
+}
+
+func (t *Transform) standardize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v - t.means[i]) / t.stds[i]
+	}
+	return out
+}
+
+func columnStats(x [][]float64) (means, stds []float64) {
+	n := float64(len(x))
+	d := len(x[0])
+	means = make([]float64, d)
+	stds = make([]float64, d)
+	for _, row := range x {
+		for i, v := range row {
+			means[i] += v
+		}
+	}
+	for i := range means {
+		means[i] /= n
+	}
+	for _, row := range x {
+		for i, v := range row {
+			diff := v - means[i]
+			stds[i] += diff * diff
+		}
+	}
+	for i := range stds {
+		stds[i] = math.Sqrt(stds[i] / n)
+		if stds[i] < 1e-12 {
+			stds[i] = 1 // constant feature: leave centered values at 0
+		}
+	}
+	return means, stds
+}
+
+// medianHeuristic returns 1/(2·median²) of pairwise distances, the
+// standard RBF width choice. Quadratic in n; sampled above 512 points.
+func medianHeuristic(x [][]float64) float64 {
+	n := len(x)
+	step := 1
+	if n > 512 {
+		step = n / 512
+	}
+	var dists []float64
+	for i := 0; i < n; i += step {
+		for j := i + step; j < n; j += step {
+			var d2 float64
+			for k := range x[i] {
+				diff := x[i][k] - x[j][k]
+				d2 += diff * diff
+			}
+			dists = append(dists, math.Sqrt(d2))
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	sort.Float64s(dists)
+	med := dists[len(dists)/2]
+	if med < 1e-9 {
+		return 1
+	}
+	return 1 / (2 * med * med)
+}

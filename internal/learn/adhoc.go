@@ -1,0 +1,115 @@
+package learn
+
+import (
+	"fmt"
+	"sort"
+
+	"driftclean/internal/dp"
+)
+
+// AdHoc is a single-property threshold detector (Table 4 rows 1–4): each
+// uses one of the four raw features with a threshold learned on the seed
+// labels, exactly the kind of heuristic the paper argues is insufficient.
+type AdHoc struct {
+	// Feature indexes the raw feature (0..3 for f1..f4).
+	Feature int
+	// Thresh is the decision threshold; LowIsDP means values at or below
+	// the threshold are classified as DPs (true for f1, f3, f4 — DPs sit
+	// low; false for f2, where a positive exclusion count marks a DP).
+	Thresh  float64
+	LowIsDP bool
+}
+
+// TrainAdHoc learns the threshold for the given raw feature (0-based) by
+// maximizing F1 of binary DP detection on the labeled instances.
+func TrainAdHoc(t *Task, feature int) (*AdHoc, error) {
+	type pt struct {
+		v    float64
+		isDP bool
+	}
+	var pts []pt
+	for _, in := range t.Instances {
+		if !in.Labeled {
+			continue
+		}
+		pts = append(pts, pt{in.Raw[feature], in.Label.IsDP()})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("learn: task %q has no labeled instances for ad-hoc", t.Concept)
+	}
+	lowIsDP := feature != 1 // f2 marks DPs by *high* exclusion counts
+	sort.Slice(pts, func(i, j int) bool { return pts[i].v < pts[j].v })
+
+	totalDP := 0
+	for _, p := range pts {
+		if p.isDP {
+			totalDP++
+		}
+	}
+	bestF1, bestThresh := -1.0, pts[0].v
+	// Candidate thresholds between consecutive distinct values, plus the
+	// extremes.
+	try := func(thresh float64) {
+		tp, fp := 0, 0
+		for _, p := range pts {
+			predictedDP := (p.v <= thresh) == lowIsDP
+			if predictedDP && p.isDP {
+				tp++
+			} else if predictedDP && !p.isDP {
+				fp++
+			}
+		}
+		f1 := f1Score(tp, fp, totalDP-tp)
+		if f1 > bestF1 {
+			bestF1, bestThresh = f1, thresh
+		}
+	}
+	try(pts[0].v - 1)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].v != pts[i-1].v {
+			try((pts[i].v + pts[i-1].v) / 2)
+		}
+	}
+	try(pts[len(pts)-1].v)
+	return &AdHoc{Feature: feature, Thresh: bestThresh, LowIsDP: lowIsDP}, nil
+}
+
+// TrainAdHocPooled learns one threshold over the labeled instances of all
+// tasks (raw feature scales are comparable across concepts).
+func TrainAdHocPooled(tasks []*Task, feature int) (*AdHoc, error) {
+	pooled := &Task{Concept: "<pooled>"}
+	for _, t := range tasks {
+		for _, in := range t.Instances {
+			if in.Labeled {
+				pooled.Instances = append(pooled.Instances, in)
+			}
+		}
+	}
+	return TrainAdHoc(pooled, feature)
+}
+
+// Predict classifies by the single-feature threshold. Detected DPs are
+// typed by the mutual-exclusion feature: a positive f2 suggests a
+// polysemous (Intentional) DP, otherwise Accidental.
+func (a *AdHoc) Predict(x []float64) dp.Label {
+	isDP := (x[a.Feature] <= a.Thresh) == a.LowIsDP
+	if !isDP {
+		return dp.NonDP
+	}
+	if x[1] > 0 && a.Feature != 1 {
+		return dp.Intentional
+	}
+	if a.Feature == 1 {
+		return dp.Intentional
+	}
+	return dp.Accidental
+}
+
+func f1Score(tp, fp, fn int) float64 {
+	if tp == 0 {
+		return 0
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r)
+}

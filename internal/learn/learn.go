@@ -1,0 +1,202 @@
+// Package learn implements the DP detectors of Sec 3.3 and the baselines
+// of Sec 5.4:
+//
+//   - ad-hoc single-property detectors with learned thresholds
+//     (Table 4 rows 1–4);
+//   - a Random Forest — the paper's conventional "Supervised" baseline;
+//   - a ridge least-squares detector (Eq 8) used in ablations;
+//   - the semi-supervised manifold detector (Eqs 9–15), which smooths the
+//     global classifier against k-NN local predictors over labeled and
+//     unlabeled data;
+//   - Concept Adaptive Drift Detection — the semi-supervised multi-task
+//     detector of Algorithm 1 (Eqs 16–20), which trains all concepts
+//     jointly under a shared ℓ2,1 structure matrix D.
+//
+// Detectors classify each instance into Intentional DP, Accidental DP or
+// non-DP via the one-hot least-squares encoding of Sec 3.3.2.
+package learn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"driftclean/internal/dp"
+	"driftclean/internal/linalg"
+)
+
+// Instance is one training/evaluation point of a task.
+type Instance struct {
+	Name    string
+	X       []float64 // transformed (KPCA) representation x̃
+	Raw     []float64 // raw f1..f4 features (tree and ad-hoc models)
+	Label   dp.Label  // valid when Labeled
+	Labeled bool
+}
+
+// Task is the per-concept dataset: labeled seeds first is NOT required;
+// Labeled flags identify the seed subset.
+type Task struct {
+	Concept   string
+	Instances []Instance
+}
+
+// LabeledCount returns the number of labeled instances.
+func (t *Task) LabeledCount() int {
+	n := 0
+	for _, in := range t.Instances {
+		if in.Labeled {
+			n++
+		}
+	}
+	return n
+}
+
+// Dim returns the transformed dimensionality (0 for an empty task).
+func (t *Task) Dim() int {
+	if len(t.Instances) == 0 {
+		return 0
+	}
+	return len(t.Instances[0].X)
+}
+
+// PadTo extends every transformed vector with zeros to dimension r, so
+// tasks with differing KPCA ranks can share one multi-task W shape.
+func (t *Task) PadTo(r int) {
+	for i := range t.Instances {
+		x := t.Instances[i].X
+		for len(x) < r {
+			x = append(x, 0)
+		}
+		t.Instances[i].X = x[:r]
+	}
+}
+
+// Detector classifies transformed feature vectors.
+type Detector interface {
+	Predict(x []float64) dp.Label
+}
+
+// LinearDetector is Fc(x̃) = Wᵀx̃ with argmax decoding (Sec 3.3.2).
+type LinearDetector struct {
+	W *linalg.Matrix // r×3
+}
+
+// Predict returns the argmax class of Wᵀx.
+func (d *LinearDetector) Predict(x []float64) dp.Label {
+	var scores [3]float64
+	for j := 0; j < 3; j++ {
+		var s float64
+		for i := 0; i < d.W.Rows && i < len(x); i++ {
+			s += d.W.At(i, j) * x[i]
+		}
+		scores[j] = s
+	}
+	return dp.FromScores(scores)
+}
+
+// PredictTask labels every instance of a task with the detector.
+func PredictTask(d Detector, t *Task, useRaw bool) map[string]dp.Label {
+	out := make(map[string]dp.Label, len(t.Instances))
+	for _, in := range t.Instances {
+		x := in.X
+		if useRaw {
+			x = in.Raw
+		}
+		out[in.Name] = d.Predict(x)
+	}
+	return out
+}
+
+// labeledMatrices assembles Xl (r×m, instances as columns) and Y (m×3),
+// with rows rescaled by inverse class frequency so the rare DP classes
+// are not drowned out by the non-DP majority in the least-squares fits.
+func labeledMatrices(t *Task) (xl, y *linalg.Matrix, m int) {
+	r := t.Dim()
+	counts := map[dp.Label]int{}
+	for _, in := range t.Instances {
+		if in.Labeled {
+			m++
+			counts[in.Label]++
+		}
+	}
+	weight := func(l dp.Label) float64 {
+		if counts[l] == 0 {
+			return 1
+		}
+		// Soft inverse-frequency: fourth root keeps the rare DP classes
+		// audible without letting a handful of seeds dominate the fit.
+		return math.Sqrt(math.Sqrt(float64(m) / (3 * float64(counts[l]))))
+	}
+	xl = linalg.NewMatrix(r, m)
+	y = linalg.NewMatrix(m, 3)
+	col := 0
+	for _, in := range t.Instances {
+		if !in.Labeled {
+			continue
+		}
+		w := weight(in.Label)
+		for i := 0; i < r; i++ {
+			xl.Set(i, col, in.X[i]*w)
+		}
+		oh := in.Label.OneHot()
+		for j := 0; j < 3; j++ {
+			y.Set(col, j, oh[j]*w)
+		}
+		col++
+	}
+	return xl, y, m
+}
+
+// TrainRidge fits the plain supervised least-squares detector of Eq 8:
+// W = (Xl·Xlᵀ + λI)⁻¹·Xl·Y.
+func TrainRidge(t *Task, lambda float64) (*LinearDetector, error) {
+	xl, y, m := labeledMatrices(t)
+	if m == 0 {
+		return nil, fmt.Errorf("learn: task %q has no labeled instances", t.Concept)
+	}
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	a := linalg.Mul(xl, xl.T())
+	for i := 0; i < a.Rows; i++ {
+		a.Add(i, i, lambda)
+	}
+	w, err := linalg.SolveLinear(a, linalg.Mul(xl, y))
+	if err != nil {
+		return nil, fmt.Errorf("learn: ridge solve for %q: %w", t.Concept, err)
+	}
+	return &LinearDetector{W: w}, nil
+}
+
+// majorityLabel returns the most frequent label, ties to NonDP.
+func majorityLabel(labels []dp.Label) dp.Label {
+	counts := map[dp.Label]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	best, bestN := dp.NonDP, counts[dp.NonDP]
+	for _, l := range []dp.Label{dp.Intentional, dp.Accidental} {
+		if counts[l] > bestN {
+			best, bestN = l, counts[l]
+		}
+	}
+	return best
+}
+
+// newRng returns a deterministic RNG for the given purpose.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// l21Norm computes Σ_i ||row_i||₂ of a matrix.
+func l21Norm(w *linalg.Matrix) float64 {
+	var s float64
+	for i := 0; i < w.Rows; i++ {
+		var rowSq float64
+		for j := 0; j < w.Cols; j++ {
+			v := w.At(i, j)
+			rowSq += v * v
+		}
+		s += math.Sqrt(rowSq)
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package learn
+
+import (
+	"sort"
+
+	"driftclean/internal/linalg"
+)
+
+// ManifoldConfig controls the semi-supervised manifold regularizer of
+// Eqs 9–14.
+type ManifoldConfig struct {
+	// K is the number of nearest neighbors per local predictor.
+	K int
+	// LocalLambda is the ridge term inside each local predictor (the λ of
+	// Eq 12/14).
+	LocalLambda float64
+	// MaxPoints caps the instances used to build the manifold matrix:
+	// above the cap a deterministic stride sample is used (labeled
+	// points always included). The k-NN step is O(n²) otherwise.
+	MaxPoints int
+}
+
+// DefaultManifoldConfig returns k=5 neighborhoods with mild local ridge.
+func DefaultManifoldConfig() ManifoldConfig {
+	return ManifoldConfig{K: 5, LocalLambda: 0.1, MaxPoints: 500}
+}
+
+// buildManifoldMatrix computes A = X̃·(Σ_i S_i·L_i·S_iᵀ)·X̃ᵀ (Eq 17) over
+// all instances of the task, labeled and unlabeled alike. Rather than
+// materializing the n×n selection product, it accumulates the equivalent
+// per-neighborhood contribution X̃_i·L_i·X̃_iᵀ, where X̃_i is the r×(k+1)
+// matrix of instance i's neighborhood.
+func buildManifoldMatrix(t *Task, cfg ManifoldConfig) *linalg.Matrix {
+	t = manifoldSubset(t, cfg.MaxPoints)
+	n := len(t.Instances)
+	r := t.Dim()
+	a := linalg.NewMatrix(r, r)
+	if n == 0 || r == 0 {
+		return a
+	}
+	k := cfg.K
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		return a
+	}
+	neigh := nearestNeighbors(t, k)
+	h := centeringMatrix(k + 1)
+	for i := 0; i < n; i++ {
+		// X̃_i: columns are x̃_i and its k nearest neighbors.
+		xi := linalg.NewMatrix(r, k+1)
+		cols := append([]int{i}, neigh[i]...)
+		for c, idx := range cols {
+			for row := 0; row < r; row++ {
+				xi.Set(row, c, t.Instances[idx].X[row])
+			}
+		}
+		li := localL(xi, h, cfg.LocalLambda)
+		// A += X̃_i·L_i·X̃_iᵀ.
+		linalg.AddInPlace(a, 1, linalg.Mul(linalg.Mul(xi, li), xi.T()))
+	}
+	a.Symmetrize()
+	// Normalize to a per-neighborhood mean: the Eq 17 sum grows with the
+	// (mostly unlabeled) instance count n while the empirical loss grows
+	// with the labeled count m, so without normalization the manifold
+	// term drowns the labels on label-poor concepts.
+	return linalg.Scale(1/float64(n), a)
+}
+
+// manifoldSubset returns t unchanged when it fits under max points, and
+// otherwise a view keeping every labeled instance plus a deterministic
+// stride sample of the unlabeled ones.
+func manifoldSubset(t *Task, max int) *Task {
+	if max <= 0 || len(t.Instances) <= max {
+		return t
+	}
+	sub := &Task{Concept: t.Concept}
+	var unlabeled []Instance
+	for _, in := range t.Instances {
+		if in.Labeled {
+			sub.Instances = append(sub.Instances, in)
+		} else {
+			unlabeled = append(unlabeled, in)
+		}
+	}
+	room := max - len(sub.Instances)
+	if room <= 0 {
+		return sub
+	}
+	stride := (len(unlabeled) + room - 1) / room
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(unlabeled); i += stride {
+		sub.Instances = append(sub.Instances, unlabeled[i])
+	}
+	return sub
+}
+
+// localL computes L_i = H − H·X̃_iᵀ·(X̃_i·H·X̃_iᵀ + λI)⁻¹·X̃_i·H (Eq 14).
+func localL(xi, h *linalg.Matrix, lambda float64) *linalg.Matrix {
+	r := xi.Rows
+	xh := linalg.Mul(xi, h) // r×(k+1)
+	mid := linalg.Mul(xh, xi.T())
+	for i := 0; i < r; i++ {
+		mid.Add(i, i, lambda)
+	}
+	inv, err := linalg.Inverse(mid)
+	if err != nil {
+		// λI keeps mid positive definite in theory; fall back to pure
+		// centering if numerical degeneracy still bites.
+		return h.Clone()
+	}
+	// L = H − (X̃H)ᵀ·inv·(X̃H)  — using H symmetric and idempotent.
+	corr := linalg.Mul(linalg.Mul(xh.T(), inv), xh)
+	return linalg.SubM(h, corr)
+}
+
+// centeringMatrix returns H = I − (1/m)·11ᵀ.
+func centeringMatrix(m int) *linalg.Matrix {
+	h := linalg.NewMatrix(m, m)
+	inv := 1 / float64(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				h.Set(i, j, 1-inv)
+			} else {
+				h.Set(i, j, -inv)
+			}
+		}
+	}
+	return h
+}
+
+// nearestNeighbors returns, for each instance, the indexes of its k
+// nearest neighbors by Euclidean distance in the transformed space, ties
+// broken by index for determinism.
+func nearestNeighbors(t *Task, k int) [][]int {
+	n := len(t.Instances)
+	out := make([][]int, n)
+	type cand struct {
+		idx int
+		d2  float64
+	}
+	for i := 0; i < n; i++ {
+		cands := make([]cand, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			cands = append(cands, cand{j, sqDist(t.Instances[i].X, t.Instances[j].X)})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d2 != cands[b].d2 {
+				return cands[a].d2 < cands[b].d2
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		idxs := make([]int, k)
+		for j := 0; j < k; j++ {
+			idxs[j] = cands[j].idx
+		}
+		out[i] = idxs
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

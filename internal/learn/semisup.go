@@ -1,0 +1,58 @@
+package learn
+
+import (
+	"fmt"
+
+	"driftclean/internal/linalg"
+)
+
+// SemiSupervisedConfig controls the Eq 15 detector.
+type SemiSupervisedConfig struct {
+	Manifold ManifoldConfig
+	// Lambda weighs the manifold regularizer (λ in Eq 15), Beta the
+	// Frobenius penalty on Wc (β in Eq 15).
+	Lambda, Beta float64
+}
+
+// DefaultSemiSupervisedConfig returns the settings used in experiments.
+func DefaultSemiSupervisedConfig() SemiSupervisedConfig {
+	return SemiSupervisedConfig{
+		Manifold: DefaultManifoldConfig(),
+		Lambda:   0.05,
+		Beta:     0.5,
+	}
+}
+
+// TrainSemiSupervised fits the single-concept semi-supervised detector of
+// Eq 15 in closed form:
+//
+//	Wc = (Xl·Xlᵀ + λ·A + λβ·I)⁻¹ · Xl·Y
+//
+// where A encodes the disagreement between the global classifier and the
+// k-NN local predictors over labeled *and unlabeled* instances.
+func TrainSemiSupervised(t *Task, cfg SemiSupervisedConfig) (*LinearDetector, error) {
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = DefaultSemiSupervisedConfig().Lambda
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = DefaultSemiSupervisedConfig().Beta
+	}
+	if cfg.Manifold.K <= 0 {
+		cfg.Manifold = DefaultManifoldConfig()
+	}
+	xl, y, m := labeledMatrices(t)
+	if m == 0 {
+		return nil, fmt.Errorf("learn: task %q has no labeled instances", t.Concept)
+	}
+	a := buildManifoldMatrix(t, cfg.Manifold)
+	lhs := linalg.Mul(xl, xl.T())
+	linalg.AddInPlace(lhs, cfg.Lambda, a)
+	for i := 0; i < lhs.Rows; i++ {
+		lhs.Add(i, i, cfg.Lambda*cfg.Beta)
+	}
+	w, err := linalg.SolveLinear(lhs, linalg.Mul(xl, y))
+	if err != nil {
+		return nil, fmt.Errorf("learn: semi-supervised solve for %q: %w", t.Concept, err)
+	}
+	return &LinearDetector{W: w}, nil
+}

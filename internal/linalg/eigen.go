@@ -1,0 +1,114 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi rotation method. It returns eigenvalues in descending
+// order and the matrix of corresponding eigenvectors stored as columns
+// (vectors.Col(i) pairs with values[i]).
+//
+// Jacobi is O(n³) per sweep and converges quadratically; it is exact enough
+// for the kernel-PCA matrices (Sec 3.3.1) whose size is the per-concept
+// instance count, and it is unconditionally stable on symmetric input.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("linalg: EigenSym of non-square %d×%d matrix", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, NewMatrix(0, 0)
+	}
+	m := a.Clone()
+	m.Symmetrize()
+	v := Identity(n)
+
+	const (
+		maxSweeps = 100
+		tol       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off <= tol*(1+m.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	sorted := make([]float64, n)
+	vecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sorted[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			vecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sorted, vecs
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to m (two-sided) and
+// accumulates it into the eigenvector matrix v (one-sided).
+func rotate(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		mip, miq := m.At(i, p), m.At(i, q)
+		m.Set(i, p, c*mip-s*miq)
+		m.Set(i, q, s*mip+c*miq)
+	}
+	for j := 0; j < n; j++ {
+		mpj, mqj := m.At(p, j), m.At(q, j)
+		m.Set(p, j, c*mpj-s*mqj)
+		m.Set(q, j, s*mpj+c*mqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := m.At(i, j)
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymKnownDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 7}})
+	vals, _ := EigenSym(a)
+	if !approxEq(vals[0], 7, 1e-10) || !approxEq(vals[1], 3, 1e-10) {
+		t.Errorf("eigenvalues %v, want [7 3]", vals)
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := EigenSym(a)
+	if !approxEq(vals[0], 3, 1e-10) || !approxEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues %v, want [3 1]", vals)
+	}
+	// A·v = λ·v for each pair.
+	for i := 0; i < 2; i++ {
+		v := vecs.Col(i)
+		av := a.MulVec(v)
+		for j := range v {
+			if !approxEq(av[j], vals[i]*v[j], 1e-9) {
+				t.Errorf("eigpair %d: (Av)[%d]=%v, λv=%v", i, j, av[j], vals[i]*v[j])
+			}
+		}
+	}
+}
+
+func TestEigenSymEmpty(t *testing.T) {
+	vals, vecs := EigenSym(NewMatrix(0, 0))
+	if len(vals) != 0 || vecs.Rows != 0 {
+		t.Errorf("empty eigendecomposition returned %v, %v", vals, vecs)
+	}
+}
+
+func TestEigenSymSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := randomSPD(rng, 8)
+	vals, _ := EigenSym(a)
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(vals))) {
+		t.Errorf("eigenvalues not descending: %v", vals)
+	}
+}
+
+func TestEigenSymTracePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + trial
+		a := randomSPD(rng, n)
+		vals, _ := EigenSym(a)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if !approxEq(sum, a.Trace(), 1e-7*(1+a.Trace())) {
+			t.Fatalf("trial %d: Σλ=%v, Tr(A)=%v", trial, sum, a.Trace())
+		}
+	}
+}
+
+func TestEigenSymOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randomSPD(rng, 6)
+	_, vecs := EigenSym(a)
+	vtv := Mul(vecs.T(), vecs)
+	if !matApproxEq(vtv, Identity(6), 1e-8) {
+		t.Errorf("VᵀV != I:\n%v", vtv)
+	}
+}
+
+// Property: the decomposition reconstructs A = V·diag(λ)·Vᵀ.
+func TestQuickEigenReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(r.Int31n(6))
+		a := randomSPD(r, n)
+		vals, vecs := EigenSym(a)
+		d := NewMatrix(n, n)
+		for i, v := range vals {
+			d.Set(i, i, v)
+		}
+		recon := Mul(Mul(vecs, d), vecs.T())
+		return matApproxEq(recon, a, 1e-7*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SPD matrices have strictly positive eigenvalues.
+func TestQuickSPDPositiveEigenvalues(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(r.Int31n(5))
+		vals, _ := EigenSym(randomSPD(r, n))
+		for _, v := range vals {
+			if v <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,236 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func matApproxEq(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if !approxEq(a.Data[i], b.Data[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randomSPD returns a random symmetric positive-definite matrix.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := randomMatrix(rng, n, n)
+	m := Mul(b, b.T())
+	for i := 0; i < n; i++ {
+		m.Add(i, i, float64(n)) // diagonal boost guarantees positive definiteness
+	}
+	return m
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("got %d×%d, want 3×4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	m := FromRows(rows)
+	for i := range rows {
+		for j := range rows[i] {
+			if m.At(i, j) != rows[i][j] {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, m.At(i, j), rows[i][j])
+			}
+		}
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMulIsNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 5, 5)
+	if !matApproxEq(Mul(Identity(5), m), m, eps) {
+		t.Error("I·M != M")
+	}
+	if !matApproxEq(Mul(m, Identity(5)), m, eps) {
+		t.Error("M·I != M")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := Mul(a, b); !matApproxEq(got, want, eps) {
+		t.Errorf("Mul =\n%v want\n%v", got, want)
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomMatrix(rng, 4, 7)
+	if !matApproxEq(m.T().T(), m, 0) {
+		t.Error("(Mᵀ)ᵀ != M")
+	}
+}
+
+func TestMulTransposeProperty(t *testing.T) {
+	// (AB)ᵀ = BᵀAᵀ on random matrices.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		a := randomMatrix(rng, 3+trial%3, 4)
+		b := randomMatrix(rng, 4, 2+trial%4)
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		if !matApproxEq(left, right, 1e-9) {
+			t.Fatalf("trial %d: (AB)ᵀ != BᵀAᵀ", trial)
+		}
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 5, 3)
+	v := []float64{1.5, -2, 0.25}
+	got := a.MulVec(v)
+	colV := NewMatrix(3, 1)
+	copy(colV.Data, v)
+	want := Mul(a, colV)
+	for i := range got {
+		if !approxEq(got[i], want.At(i, 0), eps) {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	if got := AddM(a, b); !matApproxEq(got, FromRows([][]float64{{11, 22}, {33, 44}}), eps) {
+		t.Errorf("AddM wrong: %v", got)
+	}
+	if got := SubM(b, a); !matApproxEq(got, FromRows([][]float64{{9, 18}, {27, 36}}), eps) {
+		t.Errorf("SubM wrong: %v", got)
+	}
+	if got := Scale(2, a); !matApproxEq(got, FromRows([][]float64{{2, 4}, {6, 8}}), eps) {
+		t.Errorf("Scale wrong: %v", got)
+	}
+	c := a.Clone()
+	AddInPlace(c, -1, a)
+	if c.MaxAbs() != 0 {
+		t.Errorf("AddInPlace(c,-1,a) should zero the matrix, got %v", c)
+	}
+}
+
+func TestTraceAndNorms(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := m.Trace(); got != 7 {
+		t.Errorf("Trace = %v, want 7", got)
+	}
+	if got := m.FrobeniusNorm(); !approxEq(got, 5, eps) {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := FromRows([][]float64{{1, 3}, {5, 2}})
+	m.Symmetrize()
+	if m.At(0, 1) != 4 || m.At(1, 0) != 4 {
+		t.Errorf("Symmetrize: off-diagonals %v, %v, want 4", m.At(0, 1), m.At(1, 0))
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	row := m.Row(1)
+	row[0] = 99
+	if m.At(1, 0) != 4 {
+		t.Error("Row must return a copy")
+	}
+	col := m.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Errorf("Col(2) = %v, want [3 6]", col)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); !approxEq(got, 5, eps) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+}
+
+// Property: matrix multiplication is associative (within float tolerance).
+func TestQuickMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 2+int(rng.Int31n(3)), 3)
+		b := randomMatrix(r, 3, 4)
+		c := randomMatrix(r, 4, 2)
+		return matApproxEq(Mul(Mul(a, b), c), Mul(a, Mul(b, c)), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trace is invariant under cyclic permutation, Tr(AB) = Tr(BA).
+func TestQuickTraceCyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 4, 6)
+		b := randomMatrix(r, 6, 4)
+		return approxEq(Mul(a, b).Trace(), Mul(b, a).Trace(), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

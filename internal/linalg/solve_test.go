@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveVecKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveVec([]float64{8, -11, -3})
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !approxEq(x[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factor(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("Factor(singular) err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Error("Factor(non-square) should error")
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); !approxEq(got, -6, 1e-9) {
+		t.Errorf("Det = %v, want -6", got)
+	}
+}
+
+func TestInverseTimesSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + trial%5
+		a := randomSPD(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !matApproxEq(Mul(a, inv), Identity(n), 1e-7) {
+			t.Fatalf("trial %d: A·A⁻¹ != I", trial)
+		}
+	}
+}
+
+// Property: for random SPD systems, solving then multiplying recovers the RHS.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(r.Int31n(6))
+		a := randomSPD(r, n)
+		b := randomMatrix(r, n, 2)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		return matApproxEq(Mul(a, x), b, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{
+		{2, 0, 0},
+		{6, 1, 0},
+		{-8, 5, 3},
+	})
+	if !matApproxEq(l, want, 1e-9) {
+		t.Errorf("Cholesky =\n%v want\n%v", l, want)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("Cholesky(indefinite) err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskySolveMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + trial%4
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xc := CholeskySolveVec(l, b)
+		f, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xl := f.SolveVec(b)
+		for i := range xc {
+			if !approxEq(xc[i], xl[i], 1e-7) {
+				t.Fatalf("trial %d: Cholesky x[%d]=%v, LU x[%d]=%v", trial, i, xc[i], i, xl[i])
+			}
+		}
+	}
+}
+
+// Property: Cholesky factor reproduces the original matrix, L·Lᵀ = A.
+func TestQuickCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(r.Int31n(5))
+		a := randomSPD(r, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		return matApproxEq(Mul(l, l.T()), a, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package mutex
+
+import (
+	"testing"
+
+	"driftclean/internal/corpus"
+	"driftclean/internal/extract"
+	"driftclean/internal/kb"
+	"driftclean/internal/world"
+)
+
+// handKB builds concepts with controlled core overlap:
+// a and b are disjoint; a and a_alias share most instances; tiny has a
+// 2-instance core (below MinCoreSize).
+func handKB() *kb.KB {
+	k := kb.New()
+	add := func(concept string, insts ...string) {
+		k.AddExtraction(len(insts), concept, nil, insts, nil, 1)
+	}
+	add("a", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8")
+	add("b", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8")
+	add("a_alias", "a1", "a2", "a3", "a4", "a5", "a6", "x1", "x2")
+	add("tiny", "t1", "t2")
+	return k
+}
+
+func TestExclusiveAndSimilar(t *testing.T) {
+	a := Analyze(handKB(), DefaultConfig())
+	if !a.Exclusive("a", "b") {
+		t.Error("disjoint concepts a and b must be exclusive")
+	}
+	if a.Exclusive("a", "a_alias") {
+		t.Error("overlapping concepts must not be exclusive")
+	}
+	if s := a.Sim("a", "a_alias"); s < 0.5 {
+		t.Errorf("Sim(a, a_alias) = %v, want high", s)
+	}
+	sims := a.SimilarConcepts("a")
+	if len(sims) != 1 || sims[0] != "a_alias" {
+		t.Errorf("SimilarConcepts(a) = %v", sims)
+	}
+}
+
+func TestSimSymmetricSelfOne(t *testing.T) {
+	a := Analyze(handKB(), DefaultConfig())
+	if a.Sim("a", "b") != a.Sim("b", "a") {
+		t.Error("Sim must be symmetric")
+	}
+	if a.Sim("a", "a") != 1 {
+		t.Error("Sim(c, c) must be 1")
+	}
+}
+
+func TestTinyConceptUncovered(t *testing.T) {
+	a := Analyze(handKB(), DefaultConfig())
+	if a.Covered("tiny") {
+		t.Error("tiny concept should be uncovered")
+	}
+	if a.Exclusive("tiny", "a") || a.Exclusive("a", "tiny") {
+		t.Error("uncovered concepts carry no exclusion relations")
+	}
+}
+
+func TestExclusionPropagatedAcrossSimilar(t *testing.T) {
+	// a_alias should inherit a's exclusion with b even if its direct
+	// similarity to b were borderline.
+	a := Analyze(handKB(), DefaultConfig())
+	if !a.Exclusive("a_alias", "b") {
+		t.Error("a_alias should be exclusive with b (directly or inherited)")
+	}
+}
+
+func TestHistogramCountsAllCoveredPairs(t *testing.T) {
+	a := Analyze(handKB(), DefaultConfig())
+	buckets := a.Histogram([]float64{0, 0.01, 0.1, 0.5})
+	total := 0
+	for _, b := range buckets {
+		total += b.Count
+	}
+	// 3 covered concepts -> 3 pairs.
+	if total != 3 {
+		t.Errorf("histogram total %d, want 3", total)
+	}
+}
+
+func TestEndToEndDiscoveryOnSyntheticWorld(t *testing.T) {
+	wcfg := world.DefaultConfig()
+	wcfg.NumDomains = 3
+	wcfg.InstancesPerConceptMin = 60
+	wcfg.InstancesPerConceptMax = 120
+	w := world.New(wcfg)
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumSentences = 30000
+	c := corpus.Generate(w, ccfg)
+	res := extract.Run(c, extract.DefaultConfig())
+	a := Analyze(res.KB, DefaultConfig())
+
+	// The named domain: animal and food must be discovered exclusive
+	// (their cores share at most anchored bridges).
+	if !a.Exclusive("animal", "food") {
+		t.Errorf("animal/food not discovered exclusive (sim=%v)", a.Sim("animal", "food"))
+	}
+	// Alias concepts must be discovered similar to their base, not
+	// exclusive.
+	aliases := 0
+	for _, concept := range w.Concepts {
+		if concept.SimilarOf < 0 {
+			continue
+		}
+		base := w.Concepts[concept.SimilarOf]
+		if !a.Covered(concept.Name) || !a.Covered(base.Name) {
+			continue
+		}
+		aliases++
+		if a.Exclusive(concept.Name, base.Name) {
+			t.Errorf("alias %q discovered exclusive with base %q (sim=%v)",
+				concept.Name, base.Name, a.Sim(concept.Name, base.Name))
+		}
+	}
+	if aliases == 0 {
+		t.Log("no covered alias pairs in this world; similarity branch unexercised")
+	}
+	if a.CoverageRate() == 0 {
+		t.Error("no concepts covered")
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	a := Analyze(handKB(), Config{})
+	if !a.Exclusive("a", "b") {
+		t.Error("zero config should fall back to defaults")
+	}
+}

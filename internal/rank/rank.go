@@ -1,0 +1,307 @@
+// Package rank implements the three instance-scoring models the paper
+// compares in Sec 5.2 (Table 2) and uses inside features f3 and f4:
+//
+//   - Frequency: score proportional to the pair's support count;
+//   - PageRank: classic PageRank over the *undirected* trigger graph,
+//     exactly the paper's "same graph ... except that the edges are
+//     undirected" variant;
+//   - Random Walk with Restart: the paper's chosen model (Tong et al.,
+//     ICDM 2006) — walks start from the concept's first-iteration (core)
+//     instances and follow directed trigger edges, so an instance's score
+//     is the probability of reaching it from trusted seeds.
+//
+// All models operate per concept on the trigger graph recorded in the KB.
+package rank
+
+import (
+	"math"
+	"sort"
+
+	"driftclean/internal/kb"
+)
+
+// Graph is the per-concept trigger graph: nodes are instances under the
+// concept, and a directed edge u->v exists when u triggered the extraction
+// of v in some active extraction.
+type Graph struct {
+	Concept string
+	Nodes   []string
+	Index   map[string]int
+	// Out[i] lists (neighbor index, weight) edges. Weight is the number
+	// of distinct active extractions in which the trigger relation held.
+	Out [][]Edge
+	In  [][]Edge
+	// Core marks first-iteration instances (random-walk restart set);
+	// CoreWeight carries their support counts, so restart mass is
+	// proportional to first-iteration evidence — a count-1 mis-parse in
+	// the core receives almost no trust.
+	Core       []bool
+	CoreWeight []float64
+}
+
+// Edge is a weighted adjacency entry.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// BuildGraph constructs the trigger graph of a concept from the KB.
+func BuildGraph(k *kb.KB, concept string) *Graph {
+	nodes := k.Instances(concept)
+	g := &Graph{
+		Concept: concept,
+		Nodes:   nodes,
+		Index:   make(map[string]int, len(nodes)),
+	}
+	for i, e := range nodes {
+		g.Index[e] = i
+	}
+	g.Out = make([][]Edge, len(nodes))
+	g.In = make([][]Edge, len(nodes))
+	g.Core = make([]bool, len(nodes))
+	g.CoreWeight = make([]float64, len(nodes))
+	for _, e := range k.InstancesAtIteration(concept, 1) {
+		if i, ok := g.Index[e]; ok {
+			g.Core[i] = true
+			// Log-damped evidence: a count-1 mis-parse in the core gets a
+			// sliver of restart mass, a well-attested head gets several
+			// times more, but no single popular instance dominates the
+			// restart distribution.
+			g.CoreWeight[i] = math.Log2(1 + float64(k.Count(concept, e)))
+		}
+	}
+	type key struct{ from, to int }
+	weights := map[key]float64{}
+	for _, e := range nodes {
+		u := g.Index[e]
+		for _, exID := range k.TriggeredExtractions(concept, e) {
+			ex := k.Extraction(exID)
+			if !ex.Active {
+				continue
+			}
+			for _, sub := range ex.Instances {
+				if sub == e {
+					continue
+				}
+				v, ok := g.Index[sub]
+				if !ok {
+					continue // rolled back
+				}
+				isTrigger := false
+				for _, t := range ex.Triggers {
+					if t == sub {
+						isTrigger = true
+						break
+					}
+				}
+				if isTrigger {
+					continue
+				}
+				weights[key{u, v}]++
+			}
+		}
+	}
+	// Deterministic edge order.
+	keys := make([]key, 0, len(weights))
+	for k2 := range weights {
+		keys = append(keys, k2)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k2 := range keys {
+		// Log damping keeps a polysemous bridge's heavy repeat-trigger
+		// edges from funneling its entire mass into the drift cluster.
+		w := math.Log2(1 + weights[k2])
+		g.Out[k2.from] = append(g.Out[k2.from], Edge{To: k2.to, Weight: w})
+		g.In[k2.to] = append(g.In[k2.to], Edge{To: k2.from, Weight: w})
+	}
+	return g
+}
+
+// Scores maps instance -> score for one concept.
+type Scores map[string]float64
+
+// Ranked returns the instances sorted by descending score, ties broken by
+// name for determinism.
+func (s Scores) Ranked() []string {
+	out := make([]string, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if s[out[i]] != s[out[j]] {
+			return s[out[i]] > s[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Frequency scores each instance by its normalized support count.
+func Frequency(k *kb.KB, concept string) Scores {
+	insts := k.Instances(concept)
+	out := make(Scores, len(insts))
+	total := 0
+	for _, e := range insts {
+		total += k.Count(concept, e)
+	}
+	if total == 0 {
+		return out
+	}
+	for _, e := range insts {
+		out[e] = float64(k.Count(concept, e)) / float64(total)
+	}
+	return out
+}
+
+// Config holds the iteration parameters shared by the walk models.
+type Config struct {
+	// Restart is the teleport/restart probability (the paper uses 0.15).
+	Restart float64
+	// MaxIter and Tol bound the power iteration.
+	MaxIter int
+	Tol     float64
+}
+
+// DefaultConfig mirrors the paper's setting.
+func DefaultConfig() Config { return Config{Restart: 0.15, MaxIter: 100, Tol: 1e-10} }
+
+// RandomWalk computes Random-Walk-with-Restart scores on the directed
+// trigger graph, restarting uniformly over the concept's core
+// (first-iteration) instances. The score of e is the stationary
+// probability of the walk being at e — "the probability that we could
+// randomly walk from the instances obtained in the first iterations to
+// the node of the instance e" (Sec 3.1).
+func RandomWalk(g *Graph, cfg Config) Scores {
+	n := len(g.Nodes)
+	out := make(Scores, n)
+	if n == 0 {
+		return out
+	}
+	restart := make([]float64, n)
+	var mass float64
+	for i, isCore := range g.Core {
+		if isCore {
+			restart[i] = g.CoreWeight[i]
+			if restart[i] <= 0 {
+				restart[i] = 1
+			}
+			mass += restart[i]
+		}
+	}
+	if mass == 0 {
+		// Degenerate concept with no core: restart uniformly.
+		for i := range restart {
+			restart[i] = 1
+		}
+		mass = float64(n)
+	}
+	for i := range restart {
+		restart[i] /= mass
+	}
+	outWeight := make([]float64, n)
+	for i, edges := range g.Out {
+		for _, e := range edges {
+			outWeight[i] += e.Weight
+		}
+	}
+	p := append([]float64(nil), restart...)
+	next := make([]float64, n)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for i := range next {
+			next[i] = cfg.Restart * restart[i]
+		}
+		for i, edges := range g.Out {
+			if p[i] == 0 {
+				continue
+			}
+			if outWeight[i] == 0 {
+				// Dangling mass teleports back to the restart set.
+				for j := range next {
+					next[j] += (1 - cfg.Restart) * p[i] * restart[j]
+				}
+				continue
+			}
+			share := (1 - cfg.Restart) * p[i] / outWeight[i]
+			for _, e := range edges {
+				next[e.To] += share * e.Weight
+			}
+		}
+		if l1Delta(p, next) < cfg.Tol {
+			p, next = next, p
+			break
+		}
+		p, next = next, p
+	}
+	for i, e := range g.Nodes {
+		out[e] = p[i]
+	}
+	return out
+}
+
+// PageRank computes PageRank on the undirected version of the trigger
+// graph with uniform teleport (the paper's comparison model, Sec 5.2).
+func PageRank(g *Graph, cfg Config) Scores {
+	n := len(g.Nodes)
+	out := make(Scores, n)
+	if n == 0 {
+		return out
+	}
+	// Undirected adjacency = Out ∪ In.
+	adj := make([][]Edge, n)
+	deg := make([]float64, n)
+	for i := range g.Out {
+		adj[i] = append(adj[i], g.Out[i]...)
+		adj[i] = append(adj[i], g.In[i]...)
+		for _, e := range adj[i] {
+			deg[i] += e.Weight
+		}
+	}
+	uniform := 1 / float64(n)
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = uniform
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		for i := range next {
+			next[i] = cfg.Restart * uniform
+		}
+		for i, edges := range adj {
+			if p[i] == 0 {
+				continue
+			}
+			if deg[i] == 0 {
+				for j := range next {
+					next[j] += (1 - cfg.Restart) * p[i] * uniform
+				}
+				continue
+			}
+			share := (1 - cfg.Restart) * p[i] / deg[i]
+			for _, e := range edges {
+				next[e.To] += share * e.Weight
+			}
+		}
+		if l1Delta(p, next) < cfg.Tol {
+			p, next = next, p
+			break
+		}
+		p, next = next, p
+	}
+	for i, e := range g.Nodes {
+		out[e] = p[i]
+	}
+	return out
+}
+
+func l1Delta(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}

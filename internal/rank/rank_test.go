@@ -1,0 +1,168 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"driftclean/internal/kb"
+)
+
+// chainKB builds: core {dog, chicken}; chicken triggers pork; pork
+// triggers milk. dog triggers nothing.
+func chainKB() *kb.KB {
+	k := kb.New()
+	k.AddExtraction(1, "animal", nil, []string{"dog", "chicken"}, nil, 1)
+	k.AddExtraction(2, "animal", nil, []string{"pork"}, []string{"chicken"}, 2)
+	k.AddExtraction(3, "animal", nil, []string{"milk"}, []string{"pork"}, 3)
+	return k
+}
+
+func TestBuildGraphStructure(t *testing.T) {
+	g := BuildGraph(chainKB(), "animal")
+	if len(g.Nodes) != 4 {
+		t.Fatalf("nodes = %v", g.Nodes)
+	}
+	chicken := g.Index["chicken"]
+	pork := g.Index["pork"]
+	milk := g.Index["milk"]
+	if !g.Core[g.Index["dog"]] || !g.Core[chicken] {
+		t.Error("core flags wrong for iteration-1 instances")
+	}
+	if g.Core[pork] || g.Core[milk] {
+		t.Error("triggered instances must not be core")
+	}
+	if len(g.Out[chicken]) != 1 || g.Out[chicken][0].To != pork {
+		t.Errorf("chicken out-edges = %v", g.Out[chicken])
+	}
+	if len(g.In[milk]) != 1 || g.In[milk][0].To != pork {
+		t.Errorf("milk in-edges = %v", g.In[milk])
+	}
+}
+
+func TestBuildGraphIgnoresInactive(t *testing.T) {
+	k := chainKB()
+	k.RollbackExtractions([]int{1}) // pork extraction (ID 1) rolled back
+	g := BuildGraph(k, "animal")
+	if _, ok := g.Index["pork"]; ok {
+		t.Error("rolled-back pork still in graph")
+	}
+	chicken := g.Index["chicken"]
+	if len(g.Out[chicken]) != 0 {
+		t.Errorf("chicken should have no surviving out-edges, got %v", g.Out[chicken])
+	}
+}
+
+func TestFrequencyScores(t *testing.T) {
+	k := kb.New()
+	k.AddExtraction(1, "animal", nil, []string{"dog"}, nil, 1)
+	k.AddExtraction(2, "animal", nil, []string{"dog", "cat"}, nil, 1)
+	s := Frequency(k, "animal")
+	if math.Abs(s["dog"]-2.0/3.0) > 1e-12 || math.Abs(s["cat"]-1.0/3.0) > 1e-12 {
+		t.Errorf("Frequency = %v", s)
+	}
+}
+
+func TestRandomWalkSumsToOne(t *testing.T) {
+	g := BuildGraph(chainKB(), "animal")
+	s := RandomWalk(g, DefaultConfig())
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("scores sum to %v, want 1", sum)
+	}
+}
+
+func TestRandomWalkCoreAboveDeepDescendants(t *testing.T) {
+	g := BuildGraph(chainKB(), "animal")
+	s := RandomWalk(g, DefaultConfig())
+	if s["chicken"] <= s["pork"] || s["pork"] <= s["milk"] {
+		t.Errorf("expected chicken > pork > milk, got %v", s)
+	}
+	if s["milk"] <= 0 {
+		t.Error("reachable node must have positive score")
+	}
+}
+
+func TestRandomWalkUnreachableFromCore(t *testing.T) {
+	k := kb.New()
+	k.AddExtraction(1, "c", nil, []string{"a"}, nil, 1)
+	// b arrives in iteration 2 with trigger a, c2 triggered by b.
+	k.AddExtraction(2, "c", nil, []string{"b"}, []string{"a"}, 2)
+	// isolated island: d triggered by b.
+	g := BuildGraph(k, "c")
+	s := RandomWalk(g, DefaultConfig())
+	if s["a"] <= s["b"] {
+		t.Errorf("core a should outscore triggered b: %v", s)
+	}
+}
+
+func TestRandomWalkEmptyConcept(t *testing.T) {
+	g := BuildGraph(kb.New(), "nothing")
+	if s := RandomWalk(g, DefaultConfig()); len(s) != 0 {
+		t.Errorf("scores on empty concept = %v", s)
+	}
+	if s := PageRank(g, DefaultConfig()); len(s) != 0 {
+		t.Errorf("pagerank on empty concept = %v", s)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := BuildGraph(chainKB(), "animal")
+	s := PageRank(g, DefaultConfig())
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("pagerank sums to %v, want 1", sum)
+	}
+}
+
+func TestPageRankFavorsHighDegree(t *testing.T) {
+	k := kb.New()
+	k.AddExtraction(1, "c", nil, []string{"hub"}, nil, 1)
+	k.AddExtraction(2, "c", nil, []string{"x"}, []string{"hub"}, 2)
+	k.AddExtraction(3, "c", nil, []string{"y"}, []string{"hub"}, 2)
+	k.AddExtraction(4, "c", nil, []string{"z"}, []string{"hub"}, 2)
+	g := BuildGraph(k, "c")
+	s := PageRank(g, DefaultConfig())
+	if s["hub"] <= s["x"] {
+		t.Errorf("hub should outrank leaves: %v", s)
+	}
+}
+
+func TestRankedOrderDeterministic(t *testing.T) {
+	s := Scores{"b": 0.5, "a": 0.5, "c": 0.9}
+	got := s.Ranked()
+	if got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Errorf("Ranked = %v", got)
+	}
+}
+
+// The paper's rationale for RWR over Frequency: a drifting error can have
+// higher frequency than a correct instance, but it stays far from the
+// core in the trigger graph. This test builds that exact situation.
+func TestRandomWalkBeatsFrequencyOnDriftedError(t *testing.T) {
+	k := kb.New()
+	k.AddExtraction(1, "animal", nil, []string{"chicken"}, nil, 1)
+	k.AddExtraction(2, "animal", nil, []string{"dolphin"}, nil, 1)
+	// "beef" is extracted three times, but always triggered through the
+	// drifted chain; "dolphin" is core with count 1.
+	k.AddExtraction(3, "animal", nil, []string{"pork"}, []string{"chicken"}, 2)
+	k.AddExtraction(4, "animal", nil, []string{"beef"}, []string{"pork"}, 3)
+	k.AddExtraction(5, "animal", nil, []string{"beef"}, []string{"pork"}, 3)
+	k.AddExtraction(6, "animal", nil, []string{"beef"}, []string{"pork"}, 3)
+
+	freq := Frequency(k, "animal")
+	if freq["beef"] <= freq["dolphin"] {
+		t.Fatalf("setup broken: beef should be more frequent (beef=%v dolphin=%v)",
+			freq["beef"], freq["dolphin"])
+	}
+	g := BuildGraph(k, "animal")
+	rwr := RandomWalk(g, DefaultConfig())
+	if rwr["dolphin"] <= rwr["beef"] {
+		t.Errorf("RWR should rank core dolphin above drifted beef: %v", rwr)
+	}
+}

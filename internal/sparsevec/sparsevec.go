@@ -1,0 +1,163 @@
+// Package sparsevec implements sparse frequency vectors keyed by string and
+// the cosine similarities the paper relies on: Eq 1 compares frequency
+// distributions of triggered sub-instances against a concept's first-
+// iteration instance distribution, and Eq 5 compares the core-instance sets
+// of two concepts to discover mutually-exclusive and highly-similar pairs.
+package sparsevec
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse non-negative frequency vector over string keys.
+// The zero value is empty and ready to use after make, so construct with New.
+type Vector map[string]float64
+
+// New returns an empty vector.
+func New() Vector { return make(Vector) }
+
+// FromCounts builds a vector from an integer count map.
+func FromCounts(counts map[string]int) Vector {
+	v := make(Vector, len(counts))
+	for k, c := range counts {
+		if c != 0 {
+			v[k] = float64(c)
+		}
+	}
+	return v
+}
+
+// FromSet builds a 0/1 indicator vector from a set of keys.
+func FromSet(keys []string) Vector {
+	v := make(Vector, len(keys))
+	for _, k := range keys {
+		v[k] = 1
+	}
+	return v
+}
+
+// Inc adds w to the entry for key.
+func (v Vector) Inc(key string, w float64) { v[key] += w }
+
+// L2 returns the Euclidean norm of v.
+func (v Vector) L2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the total mass of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Normalized returns v scaled to unit total mass (a probability
+// distribution). An empty or zero-mass vector normalizes to an empty vector.
+func (v Vector) Normalized() Vector {
+	total := v.Sum()
+	out := make(Vector, len(v))
+	if total == 0 {
+		return out
+	}
+	for k, x := range v {
+		out[k] = x / total
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b, iterating the smaller vector.
+func Dot(a, b Vector) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var s float64
+	for k, x := range a {
+		if y, ok := b[k]; ok {
+			s += x * y
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of a and b after mapping them into
+// the same (union) key space, as used by Eq 1 and Eq 5 of the paper. If
+// either vector is zero it returns 0.
+func Cosine(a, b Vector) float64 {
+	na, nb := a.L2(), b.L2()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// SetCosine returns the cosine similarity of two plain sets (Eq 5 uses the
+// cosine between sets of core instances): |A∩B| / sqrt(|A|·|B|).
+func SetCosine(a, b map[string]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// Jaccard returns |A∩B| / |A∪B| for two sets; 0 when both are empty.
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// TopK returns up to k keys of v with the highest weights, ties broken by
+// key for determinism.
+func (v Vector) TopK(k int) []string {
+	keys := make([]string, 0, len(v))
+	for key := range v {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if v[keys[i]] != v[keys[j]] {
+			return v[keys[i]] > v[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if k > len(keys) {
+		k = len(keys)
+	}
+	return keys[:k]
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}

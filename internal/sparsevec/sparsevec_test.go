@@ -1,0 +1,183 @@
+package sparsevec
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func set(keys ...string) map[string]struct{} {
+	s := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		s[k] = struct{}{}
+	}
+	return s
+}
+
+func randomVec(r *rand.Rand, n int) Vector {
+	v := New()
+	for i := 0; i < n; i++ {
+		v.Inc(string(rune('a'+r.Intn(10))), r.Float64()*5)
+	}
+	return v
+}
+
+func TestFromCountsDropsZeros(t *testing.T) {
+	v := FromCounts(map[string]int{"a": 3, "b": 0, "c": 1})
+	if len(v) != 2 || v["a"] != 3 || v["c"] != 1 {
+		t.Errorf("FromCounts = %v", v)
+	}
+}
+
+func TestFromSetIndicator(t *testing.T) {
+	v := FromSet([]string{"x", "y"})
+	if v["x"] != 1 || v["y"] != 1 || len(v) != 2 {
+		t.Errorf("FromSet = %v", v)
+	}
+}
+
+func TestL2AndSum(t *testing.T) {
+	v := Vector{"a": 3, "b": 4}
+	if got := v.L2(); !approxEq(got, 5, 1e-12) {
+		t.Errorf("L2 = %v, want 5", got)
+	}
+	if got := v.Sum(); got != 7 {
+		t.Errorf("Sum = %v, want 7", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := Vector{"a": 1, "b": 3}
+	n := v.Normalized()
+	if !approxEq(n["a"], 0.25, 1e-12) || !approxEq(n["b"], 0.75, 1e-12) {
+		t.Errorf("Normalized = %v", n)
+	}
+	if got := New().Normalized(); len(got) != 0 {
+		t.Errorf("Normalized(empty) = %v, want empty", got)
+	}
+}
+
+func TestCosineKnownValues(t *testing.T) {
+	a := Vector{"x": 1, "y": 1}
+	b := Vector{"x": 1, "y": 1}
+	if got := Cosine(a, b); !approxEq(got, 1, 1e-12) {
+		t.Errorf("Cosine(identical) = %v, want 1", got)
+	}
+	c := Vector{"z": 1}
+	if got := Cosine(a, c); got != 0 {
+		t.Errorf("Cosine(disjoint) = %v, want 0", got)
+	}
+	d := Vector{"x": 1}
+	if got := Cosine(a, d); !approxEq(got, 1/math.Sqrt2, 1e-12) {
+		t.Errorf("Cosine(half overlap) = %v, want %v", got, 1/math.Sqrt2)
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	if got := Cosine(New(), Vector{"a": 1}); got != 0 {
+		t.Errorf("Cosine with empty = %v, want 0", got)
+	}
+}
+
+func TestSetCosine(t *testing.T) {
+	a := set("dog", "cat", "pig")
+	b := set("dog", "cat", "cow", "hen")
+	want := 2 / math.Sqrt(12)
+	if got := SetCosine(a, b); !approxEq(got, want, 1e-12) {
+		t.Errorf("SetCosine = %v, want %v", got, want)
+	}
+	if got := SetCosine(a, set()); got != 0 {
+		t.Errorf("SetCosine with empty = %v, want 0", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := set("a", "b", "c")
+	b := set("b", "c", "d")
+	if got := Jaccard(a, b); !approxEq(got, 0.5, 1e-12) {
+		t.Errorf("Jaccard = %v, want 0.5", got)
+	}
+	if got := Jaccard(set(), set()); got != 0 {
+		t.Errorf("Jaccard(empty,empty) = %v, want 0", got)
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	v := Vector{"low": 1, "hi": 9, "mid": 5, "tie1": 3, "tie2": 3}
+	got := v.TopK(4)
+	want := []string{"hi", "mid", "tie1", "tie2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopK = %v, want %v", got, want)
+	}
+	if got := v.TopK(100); len(got) != 5 {
+		t.Errorf("TopK over-length = %d entries, want 5", len(got))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{"a": 1}
+	c := v.Clone()
+	c["a"] = 99
+	if v["a"] != 1 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+// Property: cosine is symmetric and bounded in [0, 1] for non-negative vectors.
+func TestQuickCosineSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVec(r, 8), randomVec(r, 8)
+		c1, c2 := Cosine(a, b), Cosine(b, a)
+		return approxEq(c1, c2, 1e-12) && c1 >= 0 && c1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cosine(v, v) == 1 for any non-zero vector.
+func TestQuickCosineSelf(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomVec(r, 6)
+		if len(v) == 0 {
+			return true
+		}
+		return approxEq(Cosine(v, v), 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SetCosine agrees with Cosine on indicator vectors.
+func TestQuickSetCosineMatchesIndicator(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		keysA, keysB := []string{}, []string{}
+		sa, sb := set(), set()
+		for i := 0; i < 6; i++ {
+			k := string(rune('a' + r.Intn(8)))
+			if r.Intn(2) == 0 {
+				if _, ok := sa[k]; !ok {
+					sa[k] = struct{}{}
+					keysA = append(keysA, k)
+				}
+			} else {
+				if _, ok := sb[k]; !ok {
+					sb[k] = struct{}{}
+					keysB = append(keysB, k)
+				}
+			}
+		}
+		return approxEq(SetCosine(sa, sb), Cosine(FromSet(keysA), FromSet(keysB)), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

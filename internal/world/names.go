@@ -1,0 +1,61 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// nameGen produces pronounceable, globally unique synthetic names so the
+// generated corpora read like text rather than opaque IDs. Concepts get
+// two-syllable-stem plural-ish names ("varnok"), instances two or three
+// syllables ("melira"). Collisions are resolved with numeric suffixes.
+type nameGen struct {
+	rng  *rand.Rand
+	seen map[string]struct{}
+}
+
+var (
+	onsets  = []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "sh", "th", "br", "dr", "gr", "kr", "pl", "st", "tr"}
+	vowels  = []string{"a", "e", "i", "o", "u", "ai", "ea", "ou"}
+	codas   = []string{"", "", "", "n", "r", "s", "l", "k", "m", "x"}
+	suffixc = []string{"oid", "ling", "ware", "folk", "kind"}
+)
+
+func newNameGen(rng *rand.Rand) *nameGen {
+	return &nameGen{rng: rng, seen: map[string]struct{}{}}
+}
+
+func (g *nameGen) syllable() string {
+	return onsets[g.rng.Intn(len(onsets))] + vowels[g.rng.Intn(len(vowels))] + codas[g.rng.Intn(len(codas))]
+}
+
+func (g *nameGen) unique(base string) string {
+	name := base
+	for i := 2; ; i++ {
+		if _, dup := g.seen[name]; !dup {
+			g.seen[name] = struct{}{}
+			return name
+		}
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+}
+
+// concept returns a fresh concept name.
+func (g *nameGen) concept() string {
+	var b strings.Builder
+	b.WriteString(g.syllable())
+	b.WriteString(g.syllable())
+	b.WriteString(suffixc[g.rng.Intn(len(suffixc))])
+	return g.unique(b.String())
+}
+
+// instance returns a fresh instance name.
+func (g *nameGen) instance() string {
+	var b strings.Builder
+	n := 2 + g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		b.WriteString(g.syllable())
+	}
+	return g.unique(b.String())
+}

@@ -1,0 +1,255 @@
+package world
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testWorld(t testing.TB) *World {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NumDomains = 3
+	cfg.InstancesPerConceptMin = 40
+	cfg.InstancesPerConceptMax = 80
+	return New(cfg)
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumDomains = 2
+	w1, w2 := New(cfg), New(cfg)
+	if len(w1.Concepts) != len(w2.Concepts) {
+		t.Fatalf("concept counts differ: %d vs %d", len(w1.Concepts), len(w2.Concepts))
+	}
+	for i := range w1.Concepts {
+		if w1.Concepts[i].Name != w2.Concepts[i].Name {
+			t.Fatalf("concept %d name differs: %q vs %q", i, w1.Concepts[i].Name, w2.Concepts[i].Name)
+		}
+		if !reflect.DeepEqual(w1.Concepts[i].Instances, w2.Concepts[i].Instances) {
+			t.Fatalf("concept %q instances differ", w1.Concepts[i].Name)
+		}
+	}
+}
+
+func TestSeedChangesWorld(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumDomains = 2
+	w1 := New(cfg)
+	cfg.Seed = 99
+	w2 := New(cfg)
+	same := len(w1.Concepts) == len(w2.Concepts)
+	if same {
+		for i := range w1.Concepts {
+			if w1.Concepts[i].Name != w2.Concepts[i].Name {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical concept sets")
+	}
+}
+
+func TestNamedDomainPresent(t *testing.T) {
+	w := testWorld(t)
+	for _, name := range []string{"animal", "food", "pet", "dog_breed"} {
+		if w.Concept(name) == nil {
+			t.Errorf("missing named concept %q", name)
+		}
+	}
+	if !w.IsTrue("animal", "chicken") || !w.IsTrue("food", "chicken") {
+		t.Error("chicken must be polysemous across animal and food")
+	}
+	if !w.IsTrue("animal", "dolphin") {
+		t.Error("dolphin must be an animal")
+	}
+	if w.IsTrue("animal", "beef") {
+		t.Error("beef must not be an animal")
+	}
+}
+
+func TestExclusiveTruth(t *testing.T) {
+	w := testWorld(t)
+	if !w.ExclusiveTruth("animal", "food") {
+		t.Error("animal and food must be mutually exclusive")
+	}
+	if w.ExclusiveTruth("animal", "animal") {
+		t.Error("a concept is not exclusive with itself")
+	}
+	if w.ExclusiveTruth("dog_breed", "animal") {
+		t.Error("a sub-concept is not exclusive with its parent")
+	}
+	if w.ExclusiveTruth("animal", "nosuchconcept") {
+		t.Error("unknown concepts are never exclusive")
+	}
+	// Aliases are not exclusive with their base concept.
+	for _, c := range w.Concepts {
+		if c.SimilarOf >= 0 {
+			base := w.Concepts[c.SimilarOf]
+			if w.ExclusiveTruth(c.Name, base.Name) {
+				t.Errorf("alias %q must not be exclusive with base %q", c.Name, base.Name)
+			}
+		}
+	}
+}
+
+func TestPolysemyDetection(t *testing.T) {
+	w := testWorld(t)
+	if !w.IsPolysemous("chicken") {
+		t.Error("chicken should be polysemous")
+	}
+	if w.IsPolysemous("dolphin") {
+		t.Error("dolphin should not be polysemous")
+	}
+}
+
+func TestConceptsOfConsistency(t *testing.T) {
+	w := testWorld(t)
+	for _, c := range w.Concepts {
+		for _, e := range c.Instances {
+			found := false
+			for _, id := range w.ConceptsOf(e) {
+				if id == c.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("instance %q of %q missing from reverse index", e, c.Name)
+			}
+		}
+	}
+}
+
+func TestInstanceListsSortedUnique(t *testing.T) {
+	w := testWorld(t)
+	for _, c := range w.Concepts {
+		for i := 1; i < len(c.Instances); i++ {
+			if c.Instances[i-1] >= c.Instances[i] {
+				t.Fatalf("concept %q instances not sorted-unique at %d", c.Name, i)
+			}
+		}
+		if len(c.Instances) != len(c.members) {
+			t.Fatalf("concept %q: %d instances vs %d members", c.Name, len(c.Instances), len(c.members))
+		}
+	}
+}
+
+func TestDomainsPartitionConcepts(t *testing.T) {
+	w := testWorld(t)
+	seen := map[int]bool{}
+	total := 0
+	for d, ids := range w.Domains {
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("concept %d in multiple domains", id)
+			}
+			seen[id] = true
+			total++
+			if w.Concepts[id].Domain != d {
+				t.Fatalf("concept %d domain field %d, listed in domain %d", id, w.Concepts[id].Domain, d)
+			}
+		}
+	}
+	if total != len(w.Concepts) {
+		t.Fatalf("domains cover %d concepts, world has %d", total, len(w.Concepts))
+	}
+}
+
+func TestNERLexiconCoverage(t *testing.T) {
+	w := testWorld(t)
+	covered := 0
+	for _, c := range w.Concepts {
+		for _, e := range c.Instances {
+			if _, ok := w.NERType(e); ok {
+				covered++
+			}
+		}
+	}
+	// Coverage is per distinct instance; just check it is neither empty
+	// nor total.
+	if covered == 0 {
+		t.Error("NER lexicon is empty")
+	}
+	if covered >= w.NumInstances() {
+		t.Error("NER lexicon covers everything; baseline would be an oracle")
+	}
+}
+
+func TestEvaluationConceptsIncludeTail(t *testing.T) {
+	w := testWorld(t)
+	eval := w.EvaluationConcepts(10)
+	if len(eval) != 10 {
+		t.Fatalf("got %d evaluation concepts, want 10", len(eval))
+	}
+	hasTail := false
+	for _, name := range eval {
+		if w.Concept(name).Tail {
+			hasTail = true
+		}
+	}
+	if !hasTail {
+		t.Error("evaluation concepts must include a tail concept")
+	}
+}
+
+func TestSubConceptInstancesSubsetOfParent(t *testing.T) {
+	w := testWorld(t)
+	for _, c := range w.Concepts {
+		if c.ParentOf < 0 {
+			continue
+		}
+		parent := w.Concepts[c.ParentOf]
+		for _, e := range c.Instances {
+			if !parent.Has(e) {
+				t.Fatalf("sub-concept %q instance %q missing from parent %q", c.Name, e, parent.Name)
+			}
+		}
+	}
+}
+
+func TestNameGenUnique(t *testing.T) {
+	g := newNameGen(rand.New(rand.NewSource(7)))
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		n := g.instance()
+		if seen[n] {
+			t.Fatalf("duplicate generated name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// Property: every instance of every concept answers IsTrue, and ExclusiveTruth
+// is symmetric.
+func TestQuickGroundTruthConsistency(t *testing.T) {
+	w := testWorld(t)
+	names := w.ConceptNames()
+	f := func(a, b uint8) bool {
+		c1 := names[int(a)%len(names)]
+		c2 := names[int(b)%len(names)]
+		if w.ExclusiveTruth(c1, c2) != w.ExclusiveTruth(c2, c1) {
+			return false
+		}
+		c := w.Concept(c1)
+		for _, e := range c.Instances[:minInt(5, len(c.Instances))] {
+			if !w.IsTrue(c1, e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
