@@ -50,10 +50,9 @@ func main() {
 		defer f.Close()
 		dst = bufio.NewWriter(f)
 	}
-	defer dst.Flush()
-
 	for _, s := range c.Sentences {
-		dst.WriteString(s.Text)
+		// bufio errors are sticky; Flush below reports the first one.
+		_, _ = dst.WriteString(s.Text)
 		if *truth {
 			tr := c.Truth(s.ID)
 			fmt.Fprintf(dst, "\t# kind=%s concept=%s", tr.Kind, tr.TrueConcept)
@@ -61,6 +60,10 @@ func main() {
 				fmt.Fprintf(dst, " wrong=%s", strings.Join(tr.WrongInstances, ","))
 			}
 		}
-		dst.WriteByte('\n')
+		_ = dst.WriteByte('\n')
+	}
+	if err := dst.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "corpusgen: %v\n", err)
+		os.Exit(1)
 	}
 }

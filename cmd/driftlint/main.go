@@ -1,0 +1,131 @@
+// Command driftlint runs driftclean's project-native static analyzers
+// (see internal/lint) over the module.
+//
+// Usage:
+//
+//	driftlint [-json] [-only a,b] [-list] [packages...]
+//
+// Packages are go-style local patterns: ./... (default), ./internal/...
+// or plain directories. Test files are not analyzed.
+//
+// Exit codes: 0 — clean; 1 — findings reported; 2 — usage, load or
+// type-check error. CI gates on "any nonzero", humans read the text
+// output, and -json feeds tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"driftclean/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("driftlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+		only    = fs.String("only", "", "comma-separated analyzer filter (default: all)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: driftlint [-json] [-only a,b] [-list] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := lint.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "driftlint:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "driftlint:", err)
+		return 2
+	}
+	pkgs, err := lint.NewLoader().LoadPatterns(root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "driftlint:", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "driftlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "driftlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// jsonDiag is the stable JSON shape of one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so driftlint works from any subdirectory of the module.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

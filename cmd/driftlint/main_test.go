@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runIn executes driftlint's entry point from dir, capturing stdout.
+func runIn(t *testing.T, dir string, args ...string) (code int, stdout string) {
+	t.Helper()
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	out, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	errf, err := os.CreateTemp(t.TempDir(), "stderr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer errf.Close()
+	code = run(args, out, errf)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// tempModule writes a one-package module and returns its root.
+func tempModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "code.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestExitCodeFindings: a module with a violation exits 1 and reports
+// it, in both text and JSON form — the contract scripts/verify.sh and
+// CI gate on.
+func TestExitCodeFindings(t *testing.T) {
+	dir := tempModule(t, `package tmp
+
+func cmp(a, b float64) bool { return a == b }
+`)
+	code, out := runIn(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit code %d on a module with findings, want 1", code)
+	}
+	if !strings.Contains(out, "[floateq]") || !strings.Contains(out, "code.go:3:") {
+		t.Errorf("text output missing the finding: %q", out)
+	}
+
+	code, out = runIn(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("-json exit code %d, want 1", code)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "floateq" || diags[0].Line != 3 {
+		t.Errorf("unexpected JSON findings: %+v", diags)
+	}
+}
+
+// TestExitCodeClean: a clean module exits 0 with no output.
+func TestExitCodeClean(t *testing.T) {
+	dir := tempModule(t, `package tmp
+
+// Sum is documented.
+func Sum(a, b int) int { return a + b }
+`)
+	code, out := runIn(t, dir, "./...")
+	if code != 0 || out != "" {
+		t.Fatalf("clean module: exit %d output %q, want 0 and empty", code, out)
+	}
+}
+
+// TestExitCodeErrors: usage and load errors exit 2, distinct from
+// findings, so CI can tell "the gate failed" from "the gate is broken".
+func TestExitCodeErrors(t *testing.T) {
+	dir := tempModule(t, "package tmp\n")
+	if code, _ := runIn(t, dir, "-only", "nosuch", "./..."); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code, _ := runIn(t, dir, "./nonexistent"); code != 2 {
+		t.Fatalf("bad pattern: exit %d, want 2", code)
+	}
+	broken := tempModule(t, "package tmp\n\nfunc f() { undeclared() }\n")
+	if code, _ := runIn(t, broken, "./..."); code != 2 {
+		t.Fatalf("type error: exit %d, want 2", code)
+	}
+}
+
+// TestOnlyFilter restricts the run to selected analyzers.
+func TestOnlyFilter(t *testing.T) {
+	dir := tempModule(t, `package tmp
+
+func cmp(a, b float64) bool { return a == b }
+`)
+	if code, _ := runIn(t, dir, "-only", "norand", "./..."); code != 0 {
+		t.Fatalf("-only norand should not see the floateq finding, exit %d", code)
+	}
+	if code, _ := runIn(t, dir, "-only", "floateq", "./..."); code != 1 {
+		t.Fatalf("-only floateq should report the finding, exit %d", code)
+	}
+}

@@ -22,6 +22,7 @@ package baseline
 import (
 	"sort"
 
+	"driftclean/internal/floats"
 	"driftclean/internal/kb"
 	"driftclean/internal/mutex"
 	"driftclean/internal/seedlabel"
@@ -265,7 +266,7 @@ func thresholdRemove(k *kb.KB, lab *seedlabel.Labeler, concept string, scores ma
 					fp++
 				}
 			}
-			if i+1 < len(pts) && pts[i+1].score == pts[i].score {
+			if i+1 < len(pts) && floats.Identical(pts[i+1].score, pts[i].score) {
 				continue
 			}
 			fn := nErrors - tp

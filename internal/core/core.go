@@ -274,6 +274,7 @@ const (
 	DetectAdHoc4
 )
 
+// String names the detection method the way Table 4 labels it.
 func (k DetectorKind) String() string {
 	switch k {
 	case DetectMultiTask:

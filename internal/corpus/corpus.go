@@ -45,6 +45,7 @@ const (
 	Misparse
 )
 
+// String names the sentence kind.
 func (k Kind) String() string {
 	switch k {
 	case Unambiguous:

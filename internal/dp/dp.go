@@ -21,6 +21,7 @@ const (
 	Accidental
 )
 
+// String names the label class.
 func (l Label) String() string {
 	switch l {
 	case NonDP:

@@ -1,0 +1,48 @@
+package feature
+
+import (
+	"fmt"
+	"testing"
+
+	"driftclean/internal/mutex"
+)
+
+// TestWarmRaceHammer warms one shared extractor from many parallel
+// subtests while reading features through it. Under `go test -race`
+// this is the regression gate for the Warm worker pool and the
+// mutex-guarded score/frequency caches; the features read concurrently
+// must be bit-identical to a serially computed reference.
+func TestWarmRaceHammer(t *testing.T) {
+	k := scenarioKB()
+	mx := mutex.Analyze(k, mutex.Config{ExclusiveThreshold: 0.3, SimilarThreshold: 0.9, MinCoreSize: 3})
+	shared := NewExtractor(k, mx)
+	serial := NewExtractor(k, mx)
+	concepts := []string{"animal", "food"}
+
+	type refKey struct{ concept, instance string }
+	ref := map[refKey][]float64{}
+	for _, c := range concepts {
+		for _, e := range k.Instances(c) {
+			ref[refKey{c, e}] = serial.Vector(c, e)
+		}
+	}
+
+	for i := 0; i < 8; i++ {
+		t.Run(fmt.Sprintf("warm-%d", i), func(t *testing.T) {
+			t.Parallel()
+			shared.Warm(concepts, 4)
+			for _, c := range concepts {
+				for _, e := range k.Instances(c) {
+					got := shared.Vector(c, e)
+					want := ref[refKey{c, e}]
+					for fi := range want {
+						if got[fi] != want[fi] {
+							t.Fatalf("feature f%d of (%s,%s) = %v under concurrency, want %v",
+								fi+1, c, e, got[fi], want[fi])
+						}
+					}
+				}
+			}
+		})
+	}
+}

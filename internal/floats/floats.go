@@ -1,0 +1,50 @@
+// Package floats provides the epsilon comparisons that the floateq
+// analyzer (internal/lint) demands in place of == and != on floats.
+// Exact float equality is the quiet killer of reproducible drift
+// metrics: one reassociated sum in an eigen iteration and a fixpoint
+// comparison flips, so every comparison that means "numerically the
+// same" must carry an explicit tolerance.
+package floats
+
+import "math"
+
+// Eps is the default absolute/relative tolerance used by Equal. It is
+// loose enough to absorb order-of-evaluation noise in the linalg and
+// kpca paths yet far tighter than any decision threshold in the
+// pipeline.
+const Eps = 1e-9
+
+// Equal reports whether a and b agree within Eps, absolutely for small
+// magnitudes and relatively for large ones. NaN equals nothing,
+// matching IEEE semantics.
+func Equal(a, b float64) bool {
+	return EqualTol(a, b, Eps)
+}
+
+// EqualTol is Equal with an explicit tolerance.
+func EqualTol(a, b, tol float64) bool {
+	if a == b { //lint:ignore floateq fast path; exact equality is a correct subset of any tolerance
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// IsZero reports whether v is within Eps of zero.
+func IsZero(v float64) bool {
+	return math.Abs(v) <= Eps
+}
+
+// Identical reports exact (bitwise, modulo -0 == 0) float equality. The
+// few places where exact comparison is the correct tool — sort
+// comparators, whose total order an epsilon would make intransitive,
+// and adjacent-duplicate skips over already-sorted values — must say so
+// by name instead of with a bare ==, which the floateq analyzer
+// (internal/lint) rejects.
+func Identical(a, b float64) bool {
+	return a == b //lint:ignore floateq Identical is the named escape hatch for intentional exact comparison
+}

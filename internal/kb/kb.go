@@ -24,6 +24,7 @@ type Pair struct {
 	Instance string
 }
 
+// String renders the pair in "(instance isA concept)" form.
 func (p Pair) String() string { return fmt.Sprintf("(%s isA %s)", p.Instance, p.Concept) }
 
 // Extraction records one resolved sentence parse.

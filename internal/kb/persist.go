@@ -108,11 +108,11 @@ func (kb *KB) SaveFile(path string) error {
 	}
 	w := bufio.NewWriter(f)
 	if _, err := kb.WriteTo(w); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the write error wins
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the flush error wins
 		return fmt.Errorf("kb: %w", err)
 	}
 	return f.Close()

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"driftclean/internal/dp"
+	"driftclean/internal/floats"
 )
 
 // AdHoc is a single-property threshold detector (Table 4 rows 1–4): each
@@ -66,7 +67,7 @@ func TrainAdHoc(t *Task, feature int) (*AdHoc, error) {
 	}
 	try(pts[0].v - 1)
 	for i := 1; i < len(pts); i++ {
-		if pts[i].v != pts[i-1].v {
+		if !floats.Identical(pts[i].v, pts[i-1].v) {
 			try((pts[i].v + pts[i-1].v) / 2)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"driftclean/internal/dp"
+	"driftclean/internal/floats"
 )
 
 // Scores returns the raw three-class scores Wᵀx (before argmax).
@@ -98,7 +99,7 @@ func Calibrate(d *LinearDetector, tasks ...*Task) *CalibratedLinear {
 		} else {
 			fp++
 		}
-		if i+1 < len(pts) && pts[i+1].margin == p.margin {
+		if i+1 < len(pts) && floats.Identical(pts[i+1].margin, p.margin) {
 			continue
 		}
 		next := p.margin + 1e-9

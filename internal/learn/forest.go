@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"driftclean/internal/dp"
+	"driftclean/internal/floats"
 )
 
 // ForestConfig controls the Random Forest baseline — the paper's
@@ -116,7 +117,7 @@ func growTree(xs [][]float64, ys []dp.Label, cfg ForestConfig, mtry int, rng *ra
 		sorted := append([]float64(nil), vals...)
 		sort.Float64s(sorted)
 		for i := 1; i < len(sorted); i++ {
-			if sorted[i] == sorted[i-1] {
+			if floats.Identical(sorted[i], sorted[i-1]) {
 				continue
 			}
 			thresh := (sorted[i] + sorted[i-1]) / 2

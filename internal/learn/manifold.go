@@ -3,6 +3,7 @@ package learn
 import (
 	"sort"
 
+	"driftclean/internal/floats"
 	"driftclean/internal/linalg"
 )
 
@@ -152,7 +153,7 @@ func nearestNeighbors(t *Task, k int) [][]int {
 			cands = append(cands, cand{j, sqDist(t.Instances[i].X, t.Instances[j].X)})
 		}
 		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].d2 != cands[b].d2 {
+			if !floats.Identical(cands[a].d2, cands[b].d2) {
 				return cands[a].d2 < cands[b].d2
 			}
 			return cands[a].idx < cands[b].idx

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckLite flags call statements that silently discard an error
+// result: `f()` as a bare statement where f's results include an error.
+// A dropped error in the extraction or persistence path means a
+// truncated KB or a half-written results CSV that still "succeeds" —
+// the metrics drift and nobody notices. Handle the error or assign it
+// to _ explicitly (an explicit `_ =` is a visible, reviewable decision;
+// a bare call is not).
+//
+// This is the "lite" contract: only expression statements are checked
+// (not defer/go statements and not errors dropped through _ in
+// multi-assign), and writers that cannot fail are allowlisted —
+// fmt.Print*/Fprint* (this codebase prints to stdout/stderr and
+// strings.Builder only), and the methods of strings.Builder and
+// bytes.Buffer, which are documented to always return nil errors.
+var ErrcheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "forbid silently discarded error returns in non-test code",
+	Run:  runErrcheckLite,
+}
+
+func runErrcheckLite(p *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[call]
+			if !ok || !returnsError(tv.Type, errType) {
+				return true
+			}
+			name, allowed := calleeName(p, call)
+			if allowed {
+				return true
+			}
+			if name == "" {
+				name = "call"
+			}
+			p.Reportf(call.Pos(), "error returned by %s is silently discarded; handle it or assign it to _ explicitly", name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether a call's result type includes error.
+func returnsError(t types.Type, errType types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// calleeName resolves the called function's display name and whether it
+// is allowlisted as never-fails.
+func calleeName(p *Pass, call *ast.CallExpr) (name string, allowed bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name = fn.Name()
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			obj := named.Obj()
+			name = "(" + obj.Pkg().Name() + "." + obj.Name() + ")." + fn.Name()
+			// strings.Builder and bytes.Buffer Write* methods are
+			// documented to always return a nil error.
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if full == "strings.Builder" || full == "bytes.Buffer" {
+				return name, true
+			}
+		}
+		return name, false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return name, true
+	}
+	return name, false
+}

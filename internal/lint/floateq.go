@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Exact float
+// comparison is how eigen-solver, kPCA and random-walk code silently
+// loses reproducibility: a reassociated sum or an extra FMA flips the
+// comparison and the whole bootstrap fixpoint moves. Use the epsilon
+// helpers in driftclean/internal/floats instead.
+//
+// Allowlisted (never reported):
+//   - comparisons where either operand is an exact constant zero —
+//     "was this ever set / is the denominator empty" sentinel checks are
+//     well-defined because 0 is exactly representable and arises only
+//     from exact paths;
+//   - x != x and x == x on the same expression — the idiomatic NaN test;
+//   - comparisons where both operands are compile-time constants.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on float operands; use internal/floats epsilon helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, okx := p.Info.Types[be.X]
+			ty, oky := p.Info.Types[be.Y]
+			if !okx || !oky || !isFloat(tx.Type) || !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant-folded at compile time
+			}
+			if isConstZero(tx) || isConstZero(ty) {
+				return true
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x is the NaN check
+			}
+			p.Reportf(be.OpPos, "%s on float operands is not reproducible across compilers/targets; use driftclean/internal/floats.Equal (or an explicit tolerance)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil || tv.Value.Kind() == constant.Unknown {
+		return false
+	}
+	v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+	return ok && v == 0
+}
+
+// sameExpr reports whether two expressions are syntactically identical
+// chains of identifiers and selectors/indexes over identifiers — enough
+// to recognize the x != x NaN idiom without a full printer round-trip.
+func sameExpr(a, b ast.Expr) bool {
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(x.X, y.X) && sameExpr(x.Index, y.Index)
+	case *ast.ParenExpr:
+		return sameExpr(x.X, b)
+	}
+	if y, ok := b.(*ast.ParenExpr); ok {
+		return sameExpr(a, y.X)
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFirst flags function signatures that take a context.Context
+// anywhere but the first parameter. The convention keeps call sites
+// scannable and makes cancellation plumbing mechanical when the serving
+// layer grows around the pipeline.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	check := func(ft *ast.FuncType) {
+		if ft.Params == nil {
+			return
+		}
+		for fi, field := range ft.Params.List {
+			if fi > 0 && isContext(p, field.Type) {
+				p.Reportf(field.Type.Pos(), "context.Context must be the first parameter")
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				check(n.Type)
+			case *ast.FuncLit:
+				check(n.Type)
+			}
+			return true
+		})
+	}
+}
+
+func isContext(p *Pass, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ExportedDoc flags exported top-level functions and types without a doc
+// comment that starts with the declared name — the go doc convention.
+// Exported API is the contract between the pipeline's subsystems;
+// undocumented exports are how feature semantics (which f-vector slot
+// means what) silently diverge between packages.
+//
+// Exempt: command (package main) sources, since nothing imports them;
+// methods on unexported receiver types, which are unreachable outside
+// the package; and specs inside a grouped declaration whose group
+// carries a doc comment (the group doc describes them collectively, so
+// the name-prefix rule is waived).
+var ExportedDoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc:  "exported functions and types need a doc comment starting with their name",
+	Run:  runExportedDoc,
+}
+
+func runExportedDoc(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || hasUnexportedRecv(d) {
+					continue
+				}
+				checkDoc(p, d.Doc, d.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					if ts.Doc == nil && len(d.Specs) == 1 {
+						checkDoc(p, d.Doc, ts.Name)
+						continue
+					}
+					if ts.Doc == nil && d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != "" {
+						continue // grouped decl documented collectively
+					}
+					checkDoc(p, ts.Doc, ts.Name)
+				}
+			}
+		}
+	}
+}
+
+// hasUnexportedRecv reports whether fd is a method on an unexported
+// receiver type.
+func hasUnexportedRecv(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return !tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func checkDoc(p *Pass, doc *ast.CommentGroup, name *ast.Ident) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		p.Reportf(name.Pos(), "exported %s has no doc comment", name.Name)
+		return
+	}
+	first := strings.Fields(doc.Text())
+	// Allow a leading article ("A Config ...", "The KB ...") — go doc's
+	// own corpus uses both forms.
+	w := first[0]
+	if (w == "A" || w == "An" || w == "The") && len(first) > 1 {
+		w = first[1]
+	}
+	if w != name.Name {
+		p.Reportf(name.Pos(), "doc comment of exported %s should start with %q", name.Name, name.Name)
+	}
+}

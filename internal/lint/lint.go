@@ -1,0 +1,225 @@
+// Package lint is driftclean's project-native static-analysis suite.
+//
+// The paper's pipeline is only trustworthy if every run is deterministic
+// and every metric reproducible: perror/rerror/pcorr/rcorr depend on
+// exact fixpoints, and tiny scoring nondeterminism compounds across
+// bootstrapping iterations exactly the way semantic drift does. The
+// analyzers in this package enforce the project invariants that guard
+// that reproducibility:
+//
+//	norand      — no global math/rand calls; randomness flows through an
+//	              injected seeded *rand.Rand (experiment reproducibility).
+//	floateq     — no ==/!= between float operands outside a small
+//	              allowlist; use an epsilon helper (guards kPCA, eigen
+//	              and rank code against brittle exact comparisons).
+//	nocopylock  — no by-value passing or copying of structs that contain
+//	              sync.Mutex / sync.WaitGroup and friends.
+//	errchecklite— no silently discarded error returns in non-test code.
+//	ctxfirst    — context.Context parameters come first.
+//	exporteddoc — exported declarations carry doc comments.
+//
+// Analyzers run over packages loaded and type-checked once by the shared
+// Loader. Diagnostics render as "file:line:col: message [analyzer]" and
+// can be suppressed with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// placed on the offending line or the line immediately above it. The
+// reason is mandatory: an unexplained suppression is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics, -only filters and
+	// //lint:ignore comments.
+	Name string
+	// Doc is a one-line description of the invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files (comments included).
+	Files []*ast.File
+	// Pkg and Info are the go/types results for the package.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+	ign   *ignoreIndex
+}
+
+// Reportf records a diagnostic at pos unless a matching //lint:ignore
+// comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ign.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the canonical "file:line:col: message [analyzer]" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// All returns every analyzer in the suite, sorted by name.
+func All() []*Analyzer {
+	as := []*Analyzer{
+		NoRand,
+		FloatEq,
+		NoCopyLock,
+		ErrcheckLite,
+		CtxFirst,
+		ExportedDoc,
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// ByName resolves a comma-separated analyzer filter ("a,b") against the
+// suite, erroring on unknown names. An empty filter selects everything.
+func ByName(filter string) ([]*Analyzer, error) {
+	all := All()
+	if strings.TrimSpace(filter) == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", name, strings.Join(Names(), ","))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names lists the analyzer names in the suite.
+func Names() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Run applies the analyzers to every loaded package and returns the
+// findings sorted by position. Suppressed diagnostics are dropped;
+// malformed //lint:ignore comments are themselves reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ign := newIgnoreIndex(pkg.Fset, pkg.Files)
+		diags = append(diags, ign.malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+				ign:      ign,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreIndex maps (file, line) to the analyzers suppressed there. A
+// //lint:ignore comment covers its own line and the line immediately
+// below it, matching the common trailing-comment and line-above styles.
+type ignoreIndex struct {
+	byLine    map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{byLine: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore comment: need \"//lint:ignore <analyzer>[,<analyzer>] <reason>\"",
+					})
+					continue
+				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx.byLine[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if lines[line] == nil {
+							lines[line] = map[string]bool{}
+						}
+						lines[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	return idx.byLine[pos.Filename][pos.Line][analyzer]
+}

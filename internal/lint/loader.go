@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Dir is the package directory (absolute).
+	Dir string
+	// ImportPath is the package's module-relative import path.
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages once, sharing a file set and a
+// source importer (which caches dependency packages) across the run. It
+// uses only the standard library: go/parser for syntax and go/types with
+// the "source" importer for semantics, so driftlint needs no
+// dependencies beyond the toolchain.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a ready Loader.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// LoadPatterns resolves go-style package patterns against the module
+// rooted at root and loads the matching packages. Supported patterns are
+// "./..." (or a bare "..."), "./dir/..." subtrees and plain "./dir"
+// directories, mirroring what the go tool accepts for local packages.
+// Test files (*_test.go) are excluded: the analyzers' contracts target
+// non-test code, and external test packages would otherwise need a
+// second type-checking universe.
+func (l *Loader) LoadPatterns(root string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := moduleDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	selected := map[string]bool{}
+	for _, pat := range patterns {
+		matched, err := matchPattern(root, dirs, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range matched {
+			selected[d] = true
+		}
+	}
+	var order []string
+	for d := range selected {
+		order = append(order, d)
+	}
+	sort.Strings(order)
+
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range order {
+		pkg, err := l.LoadDir(dir, importPathFor(modPath, root, dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (non-test
+// files only), returning nil if the directory holds no Go files.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// moduleDirs lists every directory under root that contains at least one
+// non-test Go file, skipping testdata, vendor, hidden and VCS trees.
+func moduleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		has, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if has {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking module: %w", err)
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// matchPattern expands one package pattern to absolute directories.
+func matchPattern(root string, dirs []string, pat string) ([]string, error) {
+	clean := strings.TrimPrefix(pat, "./")
+	if clean == "..." || clean == "" && strings.HasSuffix(pat, "...") {
+		return dirs, nil
+	}
+	if rest, ok := strings.CutSuffix(clean, "/..."); ok {
+		base := filepath.Join(root, rest)
+		var out []string
+		for _, d := range dirs {
+			if d == base || strings.HasPrefix(d, base+string(filepath.Separator)) {
+				out = append(out, d)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+		return out, nil
+	}
+	dir := filepath.Join(root, clean)
+	for _, d := range dirs {
+		if d == dir {
+			return []string{dir}, nil
+		}
+	}
+	return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+func importPathFor(modPath, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}

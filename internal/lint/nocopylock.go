@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoCopyLock flags values of lock-bearing types (structs containing
+// sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond,
+// sync.Pool or sync.Map, directly or transitively) that are passed,
+// received, returned or assigned by value. A copied mutex guards
+// nothing: the copy and the original serialize independently, which in
+// this codebase means two goroutines can both think they own a feature
+// cache. Pass *T instead.
+//
+// Creation is fine — composite literals and calls produce fresh values —
+// so only copies of *existing* values are reported: by-value receivers,
+// parameters and results in function signatures, and assignments whose
+// right-hand side reads an existing variable (identifier, selector,
+// index, dereference) or a range element.
+var NoCopyLock = &Analyzer{
+	Name: "nocopylock",
+	Doc:  "forbid by-value passing/copying of structs containing sync primitives",
+	Run:  runNoCopyLock,
+}
+
+func runNoCopyLock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkLockFields(p, n.Recv, "receiver")
+				}
+				checkLockFields(p, n.Type.Params, "parameter")
+				checkLockFields(p, n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkLockFields(p, n.Type.Params, "parameter")
+				checkLockFields(p, n.Type.Results, "result")
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if !isBlank(n.Lhs[i]) {
+							checkLockCopy(p, rhs)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i, rhs := range n.Values {
+						if n.Names[i].Name != "_" {
+							checkLockCopy(p, rhs)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && !isBlank(n.Value) {
+					if t := exprType(p, n.Value); t != nil {
+						if name := lockName(t); name != "" {
+							p.Reportf(n.Value.Pos(), "range copies a value containing %s per iteration; range over indices or pointers", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockFields reports non-pointer lock-bearing types in a signature
+// field list (receiver, params or results).
+func checkLockFields(p *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if name := lockName(tv.Type); name != "" {
+			p.Reportf(field.Type.Pos(), "by-value %s copies a struct containing %s; use a pointer", kind, name)
+		}
+	}
+}
+
+// checkLockCopy reports assignments whose RHS copies an existing
+// lock-bearing value. Fresh values (composite literals, calls, pointers)
+// are not copies.
+func checkLockCopy(p *Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+	default:
+		return
+	}
+	tv, ok := p.Info.Types[rhs]
+	if !ok {
+		return
+	}
+	if name := lockName(tv.Type); name != "" {
+		p.Reportf(rhs.Pos(), "assignment copies a value containing %s; use a pointer", name)
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exprType resolves an expression's type, falling back to the defined
+// object for identifiers introduced by := (range variables live in
+// Info.Defs, not Info.Types).
+func exprType(p *Pass, e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// lockTypeNames are the sync types whose values must never be copied
+// after first use.
+var lockTypeNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// lockName returns the name of the first sync primitive found inside t
+// (by value — pointers break the chain), or "" if t is copy-safe.
+func lockName(t types.Type) string {
+	return lockNameRec(t, map[types.Type]bool{})
+}
+
+func lockNameRec(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypeNames[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockNameRec(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockNameRec(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoRand flags any use of math/rand's package-level functions (Intn,
+// Float64, Shuffle, Perm, Seed, ...). Global rand state is shared,
+// lock-contended and — worse for this project — unseedable per
+// experiment: two runs interleave differently and the drift metrics stop
+// being reproducible. All randomness must flow through an injected,
+// seeded *rand.Rand; the constructors rand.New, rand.NewSource and
+// rand.NewZipf are therefore allowed.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid global math/rand functions; inject a seeded *rand.Rand",
+	Run:  runNoRand,
+}
+
+// norandAllowed are the math/rand package-level functions that build
+// injectable generators rather than touching the global one.
+var norandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runNoRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on *rand.Rand etc. — injected state, fine
+			}
+			if norandAllowed[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "global %s.%s uses shared unseeded state; thread a seeded *rand.Rand through the call path", path, fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,45 @@
+// Package fixture is the negative case: near-misses for every analyzer
+// that are all legal. Running the full suite over this package must
+// produce zero diagnostics.
+package fixture
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Sampler draws from an injected, seeded generator.
+type Sampler struct {
+	rng *rand.Rand
+	mu  sync.Mutex
+	n   int
+}
+
+// NewSampler seeds a generator for reproducible draws.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Draw returns the next sample.
+func (s *Sampler) Draw() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.rng.Intn(100)
+}
+
+// Near reports whether v is an unset sentinel.
+func Near(v float64) bool {
+	return v == 0 || v != v
+}
+
+// Describe renders a sampler state, handling every error.
+func Describe(ctx context.Context, s *Sampler) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	fmt.Println("describing")
+	return fmt.Sprintf("n=%d", s.Draw()), nil
+}

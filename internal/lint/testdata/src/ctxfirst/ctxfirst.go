@@ -1,0 +1,21 @@
+// Package fixture exercises the ctxfirst analyzer: context.Context
+// anywhere but the first parameter is a finding.
+package fixture
+
+import "context"
+
+func good(ctx context.Context, n int) { _, _ = ctx, n }
+
+func noCtx(a, b int) { _, _ = a, b }
+
+func bad(n int, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_, _ = n, ctx
+}
+
+var _ = func(s string, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_, _ = s, ctx
+}
+
+func suppressed(n int, ctx context.Context) { //lint:ignore ctxfirst callback shape fixed by external API
+	_, _ = n, ctx
+}

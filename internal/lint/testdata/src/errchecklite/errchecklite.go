@@ -1,0 +1,42 @@
+// Package fixture exercises the errchecklite analyzer: a bare call
+// statement that drops an error result is a finding; explicit `_ =`,
+// handled errors and never-fails writers are not.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error { return nil }
+
+func multi() (int, error) { return 0, nil }
+
+func void() {}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func body(f *os.File) {
+	fails() // want `error returned by fixture\.fails is silently discarded`
+	multi() // want `error returned by fixture\.multi is silently discarded`
+	f.Close() // want `error returned by \(os\.File\)\.Close is silently discarded`
+	var c closer
+	c.Close() // want `error returned by \(fixture\.closer\)\.Close is silently discarded`
+
+	_ = fails() // explicit discard is a visible decision
+	if err := fails(); err != nil {
+		_ = err
+	}
+	void()            // no error to drop
+	fmt.Println("hi") // fmt printers are allowlisted
+	var sb strings.Builder
+	sb.WriteString("x") // strings.Builder never returns a non-nil error
+}
+
+func suppressed() {
+	//lint:ignore errchecklite error intentionally dropped in teardown
+	fails()
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the exporteddoc analyzer: exported
+// functions and types need doc comments starting with their name.
+package fixture
+
+// Documented is a properly documented type.
+type Documented struct{}
+
+// A Config with a leading article also satisfies the convention.
+type Config struct{}
+
+type Undoc struct{} // want `exported Undoc has no doc comment`
+
+// This comment does not start with the declared name.
+type Mismatch struct{} // want `doc comment of exported Mismatch should start with "Mismatch"`
+
+// Exported is documented.
+func Exported() {}
+
+func Bare() {} // want `exported Bare has no doc comment`
+
+func unexported() {} // unexported declarations need no doc
+
+//lint:ignore exporteddoc internal-only export kept for gob
+func Legacy() {}
+
+// Grouped declarations documented collectively satisfy the check.
+type (
+	First  struct{}
+	Second struct{}
+)
+
+type (
+	Orphan struct{} // want `exported Orphan has no doc comment`
+)
+
+// Public is documented; its undocumented method is a finding.
+type Public struct{}
+
+func (Public) Method() {} // want `exported Method has no doc comment`
+
+type hidden struct{}
+
+// methods on unexported receivers are unreachable API — exempt even
+// though this doc does not start with the name.
+func (hidden) Exposed() {}

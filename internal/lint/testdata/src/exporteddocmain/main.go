@@ -1,0 +1,7 @@
+// Command fixture shows that package main is exempt from exporteddoc:
+// nothing imports a main package, so exports there carry no contract.
+package main
+
+func Undocumented() {}
+
+func main() {}

@@ -1,0 +1,34 @@
+// Package fixture exercises the floateq analyzer: ==/!= on float
+// operands are findings unless a side is an exact constant zero, the
+// operands are the same expression (NaN idiom), or both are constants.
+package fixture
+
+type score float64
+
+func compare(a, b float64, xs []float64, s score) bool {
+	if a == b { // want `== on float operands is not reproducible`
+		return true
+	}
+	if a != b { // want `!= on float operands is not reproducible`
+		return false
+	}
+	_ = xs[0] == xs[1]  // want `== on float operands is not reproducible`
+	_ = s == score(a)   // want `== on float operands is not reproducible`
+	var f32 float32
+	_ = f32 == 2.5 // want `== on float operands is not reproducible`
+	return false
+}
+
+func allowed(a, b float64, n, m int) bool {
+	_ = a == 0   // exact-zero sentinel
+	_ = 0.0 != b // exact-zero sentinel, constant on the left
+	_ = a != a   // NaN idiom
+	const c = 1.5
+	_ = 1.5 == c // both constants, folded at compile time
+	return n == m
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq bit-exact comparison is the point of this check
+	return a == b
+}

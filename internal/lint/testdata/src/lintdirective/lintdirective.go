@@ -1,0 +1,8 @@
+// Package fixture holds a malformed //lint:ignore directive (analyzer
+// name but no reason); the harness asserts it is reported.
+package fixture
+
+//lint:ignore floateq
+func orphan(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,57 @@
+// Package fixture exercises the nocopylock analyzer: lock-bearing
+// structs passed, received, returned or assigned by value are findings;
+// pointers and fresh composite literals are not.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct{ g guarded }
+
+type waits struct{ wg sync.WaitGroup }
+
+func byValParam(g guarded) { // want `by-value parameter copies a struct containing sync\.Mutex`
+	_ = g
+}
+
+func (g guarded) byValRecv() {} // want `by-value receiver copies a struct containing sync\.Mutex`
+
+func (g *guarded) ptrRecv() {} // pointers are fine
+
+func byValResult() guarded // want `by-value result copies a struct containing sync\.Mutex`
+
+func nested(w wrapper) { // want `by-value parameter copies a struct containing sync\.Mutex`
+	_ = w
+}
+
+func waitGroup(w waits) { // want `by-value parameter copies a struct containing sync\.WaitGroup`
+	_ = w
+}
+
+func copies() {
+	var a guarded
+	b := a // want `assignment copies a value containing sync\.Mutex`
+	_ = b
+	p := &a // taking a pointer is fine
+	c := *p // want `assignment copies a value containing sync\.Mutex`
+	_ = c
+	fresh := guarded{}  // composite literals are fresh values
+	slice := []*guarded{&fresh}
+	for _, g := range slice { // pointers range fine
+		_ = g
+	}
+	vals := []guarded{}
+	for _, g := range vals { // want `range copies a value containing sync\.Mutex per iteration`
+		_ = g
+	}
+}
+
+func suppressed(g guarded) { //lint:ignore nocopylock fixture demonstrates suppression
+	_ = g
+}
+
+func plain(n int, s string) {} // non-lock params are fine

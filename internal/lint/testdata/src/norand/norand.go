@@ -1,0 +1,33 @@
+// Package fixture exercises the norand analyzer: global math/rand
+// functions are findings, injected *rand.Rand methods and the
+// constructors are not.
+package fixture
+
+import "math/rand"
+
+func globals() {
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn uses shared unseeded state`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle uses shared unseeded state`
+	_ = rand.Float64()                 // want `global math/rand\.Float64 uses shared unseeded state`
+	rand.Seed(42)                      // want `global math/rand\.Seed uses shared unseeded state`
+}
+
+func reference() {
+	f := rand.Perm // want `global math/rand\.Perm uses shared unseeded state`
+	_ = f
+}
+
+func injected(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are the sanctioned path
+	rng.Shuffle(4, func(i, j int) {})
+	return rng.Intn(10)
+}
+
+func suppressed() int {
+	//lint:ignore norand demo code seeds globally on purpose
+	return rand.Intn(10)
+}
+
+func trailing() float64 {
+	return rand.Float64() //lint:ignore norand trailing-style suppression
+}

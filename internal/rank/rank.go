@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"driftclean/internal/floats"
 	"driftclean/internal/kb"
 )
 
@@ -133,7 +134,7 @@ func (s Scores) Ranked() []string {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if s[out[i]] != s[out[j]] {
+		if !floats.Identical(s[out[i]], s[out[j]]) {
 			return s[out[i]] > s[out[j]]
 		}
 		return out[i] < out[j]

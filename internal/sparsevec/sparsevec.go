@@ -8,6 +8,8 @@ package sparsevec
 import (
 	"math"
 	"sort"
+
+	"driftclean/internal/floats"
 )
 
 // Vector is a sparse non-negative frequency vector over string keys.
@@ -142,7 +144,7 @@ func (v Vector) TopK(k int) []string {
 		keys = append(keys, key)
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if v[keys[i]] != v[keys[j]] {
+		if !floats.Identical(v[keys[i]], v[keys[j]]) {
 			return v[keys[i]] > v[keys[j]]
 		}
 		return keys[i] < keys[j]

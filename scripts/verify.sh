@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# verify.sh — driftclean's full verification gate.
+#
+# Runs, in order: build, go vet, driftlint (the project-native static
+# analyzers in internal/lint) and the test suite under the race
+# detector. Any diagnostic from any stage fails the gate (nonzero
+# exit), which is exactly what CI wants: the paper's drift metrics are
+# only meaningful when every run is deterministic and race-free.
+#
+# Usage: scripts/verify.sh        (from anywhere inside the repo)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> driftlint ./..."
+go run ./cmd/driftlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all gates passed"
