@@ -1,23 +1,29 @@
 package driftclean
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"driftclean/internal/core"
 	"driftclean/internal/eval"
 	"driftclean/internal/experiments"
+	"driftclean/internal/snapshot"
 )
 
 // Re-exported pipeline types. Config aggregates every subsystem's
 // configuration; System is a built world+corpus+extraction; Analysis is
 // the per-KB-state artifact bundle (exclusions, seeds, features, tasks);
-// CleanResult reports a cleaning run.
+// CleanResult reports a cleaning run; Snapshot is an immutable,
+// concurrency-safe point-in-time view of a KB, ready for the serving
+// layer (internal/serve, cmd/driftserve).
 type (
 	Config       = core.Config
 	System       = core.System
 	Analysis     = core.Analysis
 	CleanResult  = core.CleanResult
 	DetectorKind = core.DetectorKind
+	Snapshot     = snapshot.Snapshot
 )
 
 // Detection methods (Table 4 of the paper).
@@ -38,6 +44,101 @@ const (
 	DetectAdHoc3 = core.DetectAdHoc3
 	DetectAdHoc4 = core.DetectAdHoc4
 )
+
+// Typed sentinel errors returned by the context-first API. Match with
+// errors.Is; both may wrap further detail.
+var (
+	// ErrNoDPsDetected reports that the detector found no drifting
+	// points, so cleaning had nothing to do. The accompanying *Report is
+	// still fully populated — before and after are simply identical.
+	ErrNoDPsDetected = errors.New("driftclean: no drifting points detected")
+	// ErrCanceled reports that the run stopped early because the
+	// caller's context was canceled or timed out. It wraps the
+	// underlying context error, so errors.Is(err, context.Canceled)
+	// also matches when applicable.
+	ErrCanceled = errors.New("driftclean: run canceled")
+)
+
+// Phase identifies a stage of a cleaning run, reported through
+// WithProgress.
+type Phase int
+
+// The phases of a run, in order. PhaseClean repeats once per
+// detect-and-clean round.
+const (
+	// PhaseBuild covers world generation, corpus synthesis and the
+	// iterative (drifting) extraction.
+	PhaseBuild Phase = iota
+	// PhaseClean is one detect-and-clean round; the Round argument
+	// carries the 1-based round number.
+	PhaseClean
+	// PhaseEvaluate computes the report's precision and cleaning
+	// metrics against the synthetic ground truth.
+	PhaseEvaluate
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBuild:
+		return "build"
+	case PhaseClean:
+		return "clean"
+	case PhaseEvaluate:
+		return "evaluate"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Round is the 1-based detect-and-clean round number a progress callback
+// receives; it is 0 for the build and evaluate phases.
+type Round = int
+
+// Option configures a context-first run. Options are applied in order;
+// later options win.
+type Option func(*options)
+
+type options struct {
+	cfg      Config
+	method   DetectorKind
+	progress []func(Phase, Round)
+}
+
+func newOptions(opts []Option) options {
+	o := options{cfg: core.DefaultConfig(), method: DetectMultiTask}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+func (o *options) emit(p Phase, r Round) {
+	for _, fn := range o.progress {
+		fn(p, r)
+	}
+}
+
+// WithConfig replaces the default configuration for the run.
+func WithConfig(cfg Config) Option {
+	return func(o *options) { o.cfg = cfg }
+}
+
+// WithMethod selects the DP detection method for CleanContext (the
+// default is DetectMultiTask, the paper's method). CleanWithContext
+// ignores it — there the method is an explicit argument.
+func WithMethod(method DetectorKind) Option {
+	return func(o *options) { o.method = method }
+}
+
+// WithProgress registers a callback invoked as the run advances:
+// (PhaseBuild, 0) before the system is built, (PhaseClean, r) before
+// each detect-and-clean round r = 1, 2, ..., and (PhaseEvaluate, 0)
+// before final evaluation. Multiple callbacks may be registered; they
+// run synchronously on the pipeline goroutine, so they must be fast.
+func WithProgress(fn func(Phase, Round)) Option {
+	return func(o *options) { o.progress = append(o.progress, fn) }
+}
 
 // DefaultConfig returns the standard configuration: a mid-size synthetic
 // world whose extraction drifts the way Fig 5(a) of the paper shows.
@@ -63,15 +164,52 @@ type Report struct {
 	System *System
 }
 
-// Clean runs the complete pipeline — build, detect DPs with the paper's
-// multi-task method, clean iteratively — and reports the outcome.
-func Clean(cfg Config) (*Report, error) {
-	return CleanWith(cfg, DetectMultiTask)
+// Snapshot freezes the report's (cleaned) knowledge base into an
+// immutable, concurrency-safe view ready to hand to the serving layer:
+// pass it to serve.New or serve.Service.Swap. The pipeline may keep
+// mutating the underlying KB afterwards; the snapshot is unaffected.
+func (r *Report) Snapshot() *Snapshot { return snapshot.Freeze(r.System.KB) }
+
+// CleanContext runs the complete pipeline — build, detect DPs, clean
+// iteratively, evaluate — under the given context. It is the primary
+// entry point:
+//
+//	rep, err := driftclean.CleanContext(ctx,
+//		driftclean.WithConfig(cfg),
+//		driftclean.WithProgress(func(p driftclean.Phase, r driftclean.Round) {
+//			log.Printf("%v round %d", p, r)
+//		}))
+//
+// The detection method defaults to DetectMultiTask; override with
+// WithMethod. Cancellation is honored between phases and between
+// cleaning rounds and reported as ErrCanceled; a run that detects no
+// DPs at all returns the (fully populated) report alongside
+// ErrNoDPsDetected.
+func CleanContext(ctx context.Context, opts ...Option) (*Report, error) {
+	o := newOptions(opts)
+	return CleanWithContext(ctx, o.method, opts...)
 }
 
-// CleanWith is Clean with an explicit detection method.
-func CleanWith(cfg Config, method DetectorKind) (*Report, error) {
+// CleanWithContext is CleanContext with an explicit detection method.
+func CleanWithContext(ctx context.Context, method DetectorKind, opts ...Option) (*Report, error) {
+	o := newOptions(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
+	cfg := o.cfg
+	cfg.Clean.OnRound = func(round int) bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		o.emit(PhaseClean, round)
+		return false
+	}
+
+	o.emit(PhaseBuild, 0)
 	sys := core.Build(cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(err)
+	}
 	rep := &Report{
 		System:          sys,
 		PrecisionBefore: sys.Oracle.KBPrecision(sys.KB, nil),
@@ -81,6 +219,11 @@ func CleanWith(cfg Config, method DetectorKind) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("driftclean: cleaning failed: %w", err)
 	}
+	if cr.Clean.Stopped {
+		return nil, canceledErr(ctx.Err())
+	}
+
+	o.emit(PhaseEvaluate, 0)
 	rep.PrecisionAfter = sys.Oracle.KBPrecision(sys.KB, nil)
 	rep.PairsAfter = sys.KB.NumPairs()
 	rep.Rounds = len(cr.Clean.Rounds)
@@ -90,7 +233,44 @@ func CleanWith(cfg Config, method DetectorKind) (*Report, error) {
 	}
 	m := eval.MergeCleaning(per)
 	rep.PError, rep.RError, rep.PCorr, rep.RCorr = m.PError, m.RError, m.PCorr, m.RCorr
+	if rep.Rounds == 0 {
+		return rep, ErrNoDPsDetected
+	}
 	return rep, nil
+}
+
+// canceledErr wraps the context error in the ErrCanceled sentinel.
+func canceledErr(ctxErr error) error {
+	if ctxErr == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, ctxErr)
+}
+
+// Clean runs the complete pipeline with the paper's multi-task method.
+//
+// Deprecated: Clean is the pre-context API, kept so existing callers
+// compile. New code should use CleanContext, which adds cancellation,
+// progress reporting and typed errors.
+func Clean(cfg Config) (*Report, error) {
+	return stripNoDPs(CleanContext(context.Background(), WithConfig(cfg)))
+}
+
+// CleanWith is Clean with an explicit detection method.
+//
+// Deprecated: CleanWith is the pre-context API, kept so existing
+// callers compile. New code should use CleanWithContext.
+func CleanWith(cfg Config, method DetectorKind) (*Report, error) {
+	return stripNoDPs(CleanWithContext(context.Background(), method, WithConfig(cfg)))
+}
+
+// stripNoDPs preserves the legacy contract: a DP-free run is a success,
+// not an error.
+func stripNoDPs(rep *Report, err error) (*Report, error) {
+	if errors.Is(err, ErrNoDPsDetected) {
+		return rep, nil
+	}
+	return rep, err
 }
 
 // Experiment types re-exported from the experiments engine. An

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"driftclean"
@@ -43,9 +47,28 @@ func main() {
 	cfg.Corpus.NumSentences = *sentences
 	cfg.Clean.MaxRounds = *rounds
 
+	// Context-first API: ctrl-C cancels between cleaning rounds instead
+	// of killing the process mid-mutation.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	opts := []driftclean.Option{driftclean.WithConfig(cfg)}
+	if *verbose {
+		opts = append(opts, driftclean.WithProgress(func(p driftclean.Phase, r driftclean.Round) {
+			if p == driftclean.PhaseClean {
+				fmt.Fprintf(os.Stderr, "driftclean: %v round %d\n", p, r)
+			} else {
+				fmt.Fprintf(os.Stderr, "driftclean: %v\n", p)
+			}
+		}))
+	}
+
 	start := time.Now()
-	rep, err := driftclean.CleanWith(cfg, kind)
-	if err != nil {
+	rep, err := driftclean.CleanWithContext(ctx, kind, opts...)
+	switch {
+	case errors.Is(err, driftclean.ErrNoDPsDetected):
+		fmt.Fprintln(os.Stderr, "driftclean: no drifting points detected; nothing to clean")
+	case err != nil:
 		fmt.Fprintf(os.Stderr, "driftclean: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,134 @@
+// Command driftserve serves read queries over a saved knowledge base
+// (see driftclean -savekb) as HTTP/JSON. The KB is frozen into an
+// immutable snapshot at startup; queries run lock-free against it
+// through an LRU-cached, request-coalescing service. POST /v1/reload
+// (or SIGHUP) re-reads the KB file and atomically swaps in a fresh
+// snapshot without dropping in-flight requests.
+//
+// Usage:
+//
+//	driftserve -kb FILE [-addr :8080] [-timeout 5s] [-cache 4096]
+//
+// Endpoints:
+//
+//	GET  /v1/stats                               aggregate KB statistics
+//	GET  /v1/concepts                            concepts with instance counts
+//	GET  /v1/instances?concept=C                 a concept's instances
+//	GET  /v1/explain?concept=C&instance=E[&n=N]  provenance of one pair
+//	GET  /v1/drifted?concept=C[&n=N]             deepest provenance chains
+//	POST /v1/reload                              hot-reload the KB file
+//	GET  /debug/vars                             service metrics
+//
+// The server shuts down gracefully on SIGTERM or SIGINT: it stops
+// accepting connections and gives in-flight requests a grace period to
+// finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"driftclean/internal/kb"
+	"driftclean/internal/serve"
+	"driftclean/internal/snapshot"
+)
+
+func main() {
+	var (
+		kbPath  = flag.String("kb", "", "path to a KB snapshot written with -savekb (required)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout (0 disables)")
+		cache   = flag.Int("cache", serve.DefaultCacheSize, "result cache entries (negative disables)")
+	)
+	flag.Parse()
+	if *kbPath == "" || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: driftserve -kb FILE [-addr :8080] [-timeout 5s] [-cache 4096]")
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "driftserve: ", log.LstdFlags)
+	if err := run(*kbPath, *addr, *timeout, *cache, logger); err != nil {
+		logger.Print(err)
+		os.Exit(1)
+	}
+}
+
+// run loads the KB, builds the service and serves until SIGTERM/SIGINT.
+func run(kbPath, addr string, timeout time.Duration, cacheSize int, logger *log.Logger) error {
+	snap, err := freezeFile(kbPath)
+	if err != nil {
+		return err
+	}
+	svc := serve.New(snap, serve.Options{CacheSize: cacheSize})
+	logger.Printf("loaded %s: generation %d, %d concepts, %d pairs",
+		kbPath, snap.Generation(), snap.Stats().Concepts, snap.Stats().DistinctPairs)
+
+	reload := func() error {
+		next, err := freezeFile(kbPath)
+		if err != nil {
+			return fmt.Errorf("reload: %w", err)
+		}
+		svc.Swap(next)
+		logger.Printf("reloaded %s: generation %d, %d pairs",
+			kbPath, next.Generation(), next.Stats().DistinctPairs)
+		return nil
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newHandler(handlerConfig{svc: svc, reload: reload, timeout: timeout}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	// SIGHUP hot-reloads the KB file, the classic daemon convention.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := reload(); err != nil {
+				logger.Print(err)
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// freezeFile loads a KB file and freezes it into a snapshot.
+func freezeFile(path string) (*snapshot.Snapshot, error) {
+	k, err := kb.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return snapshot.Freeze(k), nil
+}

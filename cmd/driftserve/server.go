@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"driftclean/internal/serve"
+)
+
+// handlerConfig wires the HTTP surface to a serve.Service.
+type handlerConfig struct {
+	svc *serve.Service
+	// reload re-freezes the snapshot from the KB file and swaps it in;
+	// nil disables the /v1/reload endpoint.
+	reload func() error
+	// timeout bounds each request end to end; 0 disables.
+	timeout time.Duration
+	// beforeQuery, when non-nil, runs before every /v1 query handler —
+	// a test seam for exercising the timeout path deterministically.
+	beforeQuery func()
+}
+
+// errorBody is the JSON error envelope every non-200 response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// newHandler builds the full driftserve route table:
+//
+//	GET  /v1/stats                               aggregate KB statistics
+//	GET  /v1/concepts                            concepts with instance counts
+//	GET  /v1/instances?concept=C                 a concept's instances
+//	GET  /v1/explain?concept=C&instance=E[&n=N]  provenance of one pair
+//	GET  /v1/drifted?concept=C[&n=N]             deepest provenance chains
+//	POST /v1/reload                              re-freeze from the -kb file
+//	GET  /debug/vars                             service metrics (expvar style)
+func newHandler(cfg handlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/stats", query(cfg, func(w http.ResponseWriter, r *http.Request) {
+		result, err := cfg.svc.Stats(r.Context())
+		respond(w, result, err)
+	}))
+	mux.Handle("GET /v1/concepts", query(cfg, func(w http.ResponseWriter, r *http.Request) {
+		result, err := cfg.svc.Concepts(r.Context())
+		respond(w, result, err)
+	}))
+	mux.Handle("GET /v1/instances", query(cfg, func(w http.ResponseWriter, r *http.Request) {
+		concept, ok := requireParam(w, r, "concept")
+		if !ok {
+			return
+		}
+		result, err := cfg.svc.Instances(r.Context(), concept)
+		respond(w, result, err)
+	}))
+	mux.Handle("GET /v1/explain", query(cfg, func(w http.ResponseWriter, r *http.Request) {
+		concept, ok := requireParam(w, r, "concept")
+		if !ok {
+			return
+		}
+		instance, ok := requireParam(w, r, "instance")
+		if !ok {
+			return
+		}
+		n, ok := intParam(w, r, "n", 5)
+		if !ok {
+			return
+		}
+		result, err := cfg.svc.Explain(r.Context(), concept, instance, n)
+		respond(w, result, err)
+	}))
+	mux.Handle("GET /v1/drifted", query(cfg, func(w http.ResponseWriter, r *http.Request) {
+		concept, ok := requireParam(w, r, "concept")
+		if !ok {
+			return
+		}
+		n, ok := intParam(w, r, "n", 10)
+		if !ok {
+			return
+		}
+		result, err := cfg.svc.Drifted(r.Context(), concept, n)
+		respond(w, result, err)
+	}))
+	if cfg.reload != nil {
+		mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+			if err := cfg.reload(); err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			respond(w, map[string]uint64{"generation": cfg.svc.Generation()}, nil)
+		})
+	}
+	mux.Handle("GET /debug/vars", cfg.svc.ExpvarHandler())
+
+	var h http.Handler = mux
+	if cfg.timeout > 0 {
+		// TimeoutHandler both caps the handler's wall time (503 on
+		// expiry) and cancels the request context, which the service's
+		// query path observes before computing.
+		h = http.TimeoutHandler(h, cfg.timeout, `{"error":"request timed out"}`)
+	}
+	return h
+}
+
+// query wraps a /v1 query handler with the test seam.
+func query(cfg handlerConfig, h http.HandlerFunc) http.Handler {
+	if cfg.beforeQuery == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cfg.beforeQuery()
+		h(w, r)
+	})
+}
+
+// respond writes the result as JSON, mapping service errors to HTTP
+// status codes: ErrNotFound → 404, ErrNoSnapshot → 503, canceled or
+// timed-out contexts → 503, anything else → 500.
+func respond(w http.ResponseWriter, result any, err error) {
+	if err != nil {
+		switch {
+		case errors.Is(err, serve.ErrNotFound):
+			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, serve.ErrNoSnapshot),
+			errors.Is(err, context.Canceled),
+			errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := json.NewEncoder(w).Encode(result); err != nil {
+		// Headers are gone; nothing more to do than drop the conn.
+		_ = err
+	}
+}
+
+// requireParam extracts a mandatory query parameter, writing a 400 when
+// it is absent or empty.
+func requireParam(w http.ResponseWriter, r *http.Request, name string) (string, bool) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter "+strconv.Quote(name))
+		return "", false
+	}
+	return v, true
+}
+
+// intParam parses an optional positive integer parameter, writing a 400
+// on malformed values.
+func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		writeError(w, http.StatusBadRequest, "parameter "+strconv.Quote(name)+" must be a positive integer")
+		return 0, false
+	}
+	return n, true
+}
+
+// writeError sends the JSON error envelope with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(errorBody{Error: msg}); err != nil {
+		_ = err // response already committed
+	}
+}

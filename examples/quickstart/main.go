@@ -5,8 +5,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 
 	"driftclean"
 )
@@ -20,9 +24,23 @@ func main() {
 	cfg.World.NumDomains = 4
 	cfg.Corpus.NumSentences = 40000
 
-	fmt.Println("building world, corpus and drifted extraction...")
-	report, err := driftclean.Clean(cfg)
-	if err != nil {
+	// The context-first API: ctrl-C cancels cleanly between rounds, and
+	// WithProgress streams the pipeline's phases as they start.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	report, err := driftclean.CleanContext(ctx,
+		driftclean.WithConfig(cfg),
+		driftclean.WithProgress(func(p driftclean.Phase, r driftclean.Round) {
+			if p == driftclean.PhaseClean {
+				fmt.Printf("  %v round %d...\n", p, r)
+			} else {
+				fmt.Printf("  %v...\n", p)
+			}
+		}))
+	switch {
+	case errors.Is(err, driftclean.ErrNoDPsDetected):
+		fmt.Println("nothing drifted — the KB was already clean")
+	case err != nil:
 		log.Fatal(err)
 	}
 

@@ -42,6 +42,11 @@ type Config struct {
 	// the extractions they enabled (ablation: "one-shot removal vs the
 	// Sec 4.2 cascade").
 	DisableCascade bool
+	// OnRound, when non-nil, is invoked before each detect-and-clean
+	// round with the 1-based round number; returning true stops the loop
+	// before that round runs (the public API uses this for progress
+	// reporting and context cancellation).
+	OnRound func(round int) (stop bool)
 }
 
 // DefaultConfig returns the standard cleaning configuration.
@@ -66,6 +71,8 @@ type Result struct {
 	// TotalPairsRemoved counts distinct pair removals across rounds.
 	TotalPairsRemoved      int
 	TotalExtractionsRolled int
+	// Stopped reports that Config.OnRound halted the loop early.
+	Stopped bool
 }
 
 // Run executes the iterative DP-cleaning loop: detect DPs, clean their
@@ -80,6 +87,10 @@ func Run(k *kb.KB, detect DetectFunc, cfg Config) *Result {
 	}
 	res := &Result{}
 	for round := 1; round <= cfg.MaxRounds; round++ {
+		if cfg.OnRound != nil && cfg.OnRound(round) {
+			res.Stopped = true
+			break
+		}
 		labels := detect(k)
 		rr := CleanRound(k, labels, cfg)
 		rr.Round = round

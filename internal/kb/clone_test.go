@@ -1,0 +1,81 @@
+package kb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildCloneFixture assembles a small KB with a two-hop trigger chain:
+// core extraction of dog/cat under animal, dog triggers wolf, wolf
+// triggers dingo, plus an unrelated concept.
+func buildCloneFixture() *KB {
+	k := New()
+	k.AddExtraction(0, "animal", []string{"animal"}, []string{"dog", "cat"}, nil, 1)
+	k.AddExtraction(1, "animal", []string{"animal", "tool"}, []string{"dog", "wolf"}, []string{"dog"}, 2)
+	k.AddExtraction(2, "animal", []string{"animal"}, []string{"wolf", "dingo"}, []string{"wolf"}, 3)
+	k.AddExtraction(3, "tool", []string{"tool"}, []string{"hammer"}, nil, 1)
+	return k
+}
+
+func TestCloneEqualState(t *testing.T) {
+	orig := buildCloneFixture()
+	clone := orig.Clone()
+
+	if !reflect.DeepEqual(orig.Stats(), clone.Stats()) {
+		t.Errorf("clone stats %+v != original %+v", clone.Stats(), orig.Stats())
+	}
+	if !reflect.DeepEqual(orig.Pairs(), clone.Pairs()) {
+		t.Errorf("clone pairs differ: %v vs %v", clone.Pairs(), orig.Pairs())
+	}
+	for _, c := range orig.Concepts() {
+		for _, e := range orig.Instances(c) {
+			if got, want := clone.Count(c, e), orig.Count(c, e); got != want {
+				t.Errorf("clone count(%s,%s) = %d, want %d", c, e, got, want)
+			}
+			if !reflect.DeepEqual(clone.SubInstances(c, e), orig.SubInstances(c, e)) {
+				t.Errorf("clone subs(%s,%s) differ", c, e)
+			}
+		}
+	}
+}
+
+func TestCloneIsolatedFromMutation(t *testing.T) {
+	orig := buildCloneFixture()
+	clone := orig.Clone()
+	beforePairs := clone.NumPairs()
+	beforeSubs := clone.SubInstances("animal", "dog")
+
+	// Mutate the original: cascade-remove dog, which rolls back wolf and
+	// dingo too; then add a brand-new extraction.
+	orig.RemovePairs([]Pair{{Concept: "animal", Instance: "dog"}})
+	orig.AddExtraction(9, "animal", []string{"animal"}, []string{"ferret"}, nil, 4)
+
+	if clone.NumPairs() != beforePairs {
+		t.Errorf("mutating original changed clone pair count: %d -> %d", beforePairs, clone.NumPairs())
+	}
+	if !clone.Has("animal", "dog") || !clone.Has("animal", "dingo") {
+		t.Error("cascade on original leaked into clone")
+	}
+	if clone.Has("animal", "ferret") {
+		t.Error("extraction added to original appeared in clone")
+	}
+	if !reflect.DeepEqual(clone.SubInstances("animal", "dog"), beforeSubs) {
+		t.Error("clone sub-instances changed after original mutation")
+	}
+
+	// And the reverse: mutating the clone leaves the original intact.
+	clone.RemovePairs([]Pair{{Concept: "tool", Instance: "hammer"}})
+	if !orig.Has("tool", "hammer") {
+		t.Error("removing from clone leaked into original")
+	}
+}
+
+func TestCloneExplainMatchesOriginal(t *testing.T) {
+	orig := buildCloneFixture()
+	clone := orig.Clone()
+	wantEx, wantOK := orig.Explain("animal", "dingo", 0)
+	gotEx, gotOK := clone.Explain("animal", "dingo", 0)
+	if wantOK != gotOK || !reflect.DeepEqual(wantEx, gotEx) {
+		t.Errorf("clone explanation differs:\n got %+v (%v)\nwant %+v (%v)", gotEx, gotOK, wantEx, wantOK)
+	}
+}

@@ -109,6 +109,44 @@ func (kb *KB) supportPair(p Pair, ex *Extraction) {
 	info.Extractions = append(info.Extractions, ex.ID)
 }
 
+// Clone returns a deep copy of the KB: mutating either copy (adding
+// extractions, rolling back pairs) never affects the other. String
+// contents are shared — Go strings are immutable — so a clone costs one
+// allocation per extraction, pair and index slice rather than a byte
+// copy of the vocabulary. This is the copy-on-freeze primitive behind
+// snapshot isolation: the serving layer clones the KB once and reads
+// the clone without locks while the single writer keeps mutating the
+// original.
+func (kb *KB) Clone() *KB {
+	out := New()
+	out.extractions = make([]*Extraction, len(kb.extractions))
+	for i, ex := range kb.extractions {
+		c := *ex
+		c.Candidates = append([]string(nil), ex.Candidates...)
+		c.Instances = append([]string(nil), ex.Instances...)
+		c.Triggers = append([]string(nil), ex.Triggers...)
+		out.extractions[i] = &c
+	}
+	for p, ids := range kb.triggeredBy {
+		out.triggeredBy[p] = append([]int(nil), ids...)
+	}
+	for p, info := range kb.pairs {
+		ci := &PairInfo{
+			Count:       info.Count,
+			FirstIter:   info.FirstIter,
+			Extractions: append([]int(nil), info.Extractions...),
+		}
+		out.pairs[p] = ci
+		m := out.byConcept[p.Concept]
+		if m == nil {
+			m = make(map[string]*PairInfo)
+			out.byConcept[p.Concept] = m
+		}
+		m[p.Instance] = ci
+	}
+	return out
+}
+
 // Has reports whether the pair is currently in the KB with positive count.
 func (kb *KB) Has(concept, instance string) bool {
 	info := kb.pairs[Pair{concept, instance}]

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"driftclean/internal/snapshot"
+)
+
+// benchChainLen sizes the drift chain so the cold path does real
+// traversal work (DriftDepth walks every provenance chain) while the
+// cached path is a map lookup — the ≥10× p50 gap the serving layer
+// exists to provide.
+const benchChainLen = 600
+
+// BenchmarkServeCold measures the uncached query path: caching disabled,
+// every Drifted call re-ranks the whole concept.
+func BenchmarkServeCold(b *testing.B) {
+	svc := New(snapshot.Freeze(chainKB(benchChainLen)), Options{CacheSize: -1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Drifted(ctx, "c", 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCached measures the same query repeated against the LRU
+// cache (first call primes it before the timer starts).
+func BenchmarkServeCached(b *testing.B) {
+	svc := New(snapshot.Freeze(chainKB(benchChainLen)), Options{})
+	ctx := context.Background()
+	if _, err := svc.Drifted(ctx, "c", 20); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Drifted(ctx, "c", 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

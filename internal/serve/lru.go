@@ -1,0 +1,57 @@
+package serve
+
+import "container/list"
+
+// lruCache is a mutex-guarded LRU map from string keys to immutable
+// query results. Values cached by the service are never mutated after
+// insertion (the snapshot layer returns fresh or shared-immutable
+// slices), so handing the same value to many readers is safe.
+type lruCache struct {
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU returns a cache bounded to max entries; max <= 0 disables
+// caching entirely (every Get misses, every Add is a no-op).
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and whether it was present, promoting the
+// entry to most-recently-used. Callers must hold the service mutex.
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes a key, evicting the least-recently-used entry
+// when over capacity. Callers must hold the service mutex.
+func (c *lruCache) add(key string, val any) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,288 @@
+// Package serve is the embeddable KB query service behind the
+// driftserve HTTP server. It holds an atomically-swappable current
+// snapshot (internal/snapshot), so a hot reload is one pointer store
+// and readers never block; an LRU result cache keyed by (snapshot
+// generation, query), so repeated queries cost a map lookup and a swap
+// implicitly invalidates everything; singleflight coalescing, so a
+// stampede of identical cold queries computes once; and per-endpoint
+// counters and latency histograms exposed via ExpvarHandler.
+//
+// Concurrency model: the KB itself stays single-writer and is never
+// touched here — the pipeline mutates its *kb.KB wherever it likes,
+// freezes a snapshot when a consistent view is ready, and hands it to
+// Swap. Every read in this package goes to an immutable snapshot, which
+// is why no query path takes a lock around KB state.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"driftclean/internal/kb"
+	"driftclean/internal/snapshot"
+)
+
+// Typed sentinel errors; HTTP layers map these onto status codes.
+var (
+	// ErrNoSnapshot is returned while the service has no snapshot yet.
+	ErrNoSnapshot = errors.New("serve: no snapshot loaded")
+	// ErrNotFound is returned for unknown concepts or pairs.
+	ErrNotFound = errors.New("serve: not found")
+)
+
+// DefaultCacheSize is the result-cache capacity used when Options leaves
+// CacheSize zero.
+const DefaultCacheSize = 4096
+
+// Options configures a Service.
+type Options struct {
+	// CacheSize bounds the LRU result cache: 0 means DefaultCacheSize,
+	// negative disables caching (every query recomputes).
+	CacheSize int
+}
+
+// endpointNames enumerate the query surface; each gets its own metrics.
+var endpointNames = []string{"stats", "concepts", "instances", "explain", "drifted"}
+
+// Service serves read queries over an atomically-swappable snapshot.
+// Create with New; all methods are safe for concurrent use.
+type Service struct {
+	cur   atomic.Pointer[snapshot.Snapshot]
+	swaps atomic.Int64
+
+	mu    sync.Mutex // guards cache
+	cache *lruCache
+
+	flights *flightGroup
+	metrics map[string]*endpointMetrics
+}
+
+// New returns a Service serving the given snapshot (which may be nil;
+// queries then fail with ErrNoSnapshot until the first Swap).
+func New(snap *snapshot.Snapshot, opts Options) *Service {
+	size := opts.CacheSize
+	switch {
+	case size == 0:
+		size = DefaultCacheSize
+	case size < 0:
+		size = 0
+	}
+	s := &Service{
+		cache:   newLRU(size),
+		flights: newFlightGroup(),
+		metrics: make(map[string]*endpointMetrics, len(endpointNames)),
+	}
+	for _, name := range endpointNames {
+		s.metrics[name] = new(endpointMetrics)
+	}
+	if snap != nil {
+		s.cur.Store(snap)
+	}
+	return s
+}
+
+// Swap atomically publishes a new current snapshot and returns the
+// previous one (nil on first load). In-flight queries keep reading the
+// snapshot they started with; new queries see the new one. Cached
+// results of older generations age out of the LRU naturally — their
+// keys embed the generation, so they can never be returned for the new
+// snapshot.
+func (s *Service) Swap(snap *snapshot.Snapshot) (prev *snapshot.Snapshot) {
+	prev = s.cur.Swap(snap)
+	s.swaps.Add(1)
+	return prev
+}
+
+// Current returns the currently-published snapshot (nil if none).
+func (s *Service) Current() *snapshot.Snapshot { return s.cur.Load() }
+
+// Generation returns the current snapshot's generation, 0 if none.
+func (s *Service) Generation() uint64 {
+	if snap := s.cur.Load(); snap != nil {
+		return snap.Generation()
+	}
+	return 0
+}
+
+// StatsResult is the stats endpoint's payload.
+type StatsResult struct {
+	Generation uint64   `json:"generation"`
+	Stats      kb.Stats `json:"stats"`
+}
+
+// ConceptInfo summarizes one concept for listings.
+type ConceptInfo struct {
+	Name      string `json:"name"`
+	Instances int    `json:"instances"`
+}
+
+// InstanceInfo summarizes one instance of a concept.
+type InstanceInfo struct {
+	Name         string `json:"name"`
+	Count        int    `json:"count"`
+	SubInstances int    `json:"sub_instances"`
+}
+
+// DriftedInstance is one row of a drift ranking.
+type DriftedInstance struct {
+	Name  string `json:"name"`
+	Depth int    `json:"depth"`
+}
+
+// Stats returns aggregate statistics of the current snapshot.
+func (s *Service) Stats(ctx context.Context) (StatsResult, error) {
+	v, err := s.do(ctx, "stats", "", func(snap *snapshot.Snapshot) (any, error) {
+		return StatsResult{Generation: snap.Generation(), Stats: snap.Stats()}, nil
+	})
+	if err != nil {
+		return StatsResult{}, err
+	}
+	return v.(StatsResult), nil
+}
+
+// Concepts lists every concept with its instance count.
+func (s *Service) Concepts(ctx context.Context) ([]ConceptInfo, error) {
+	v, err := s.do(ctx, "concepts", "", func(snap *snapshot.Snapshot) (any, error) {
+		concepts := snap.Concepts()
+		out := make([]ConceptInfo, 0, len(concepts))
+		for _, c := range concepts {
+			out = append(out, ConceptInfo{Name: c, Instances: len(snap.Instances(c))})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]ConceptInfo), nil
+}
+
+// Instances lists a concept's instances with support counts and
+// sub-instance fan-out. Unknown concepts yield ErrNotFound.
+func (s *Service) Instances(ctx context.Context, concept string) ([]InstanceInfo, error) {
+	v, err := s.do(ctx, "instances", concept, func(snap *snapshot.Snapshot) (any, error) {
+		if !snap.HasConcept(concept) {
+			return nil, fmt.Errorf("%w: concept %q", ErrNotFound, concept)
+		}
+		names := snap.Instances(concept)
+		out := make([]InstanceInfo, 0, len(names))
+		for _, e := range names {
+			out = append(out, InstanceInfo{
+				Name:         e,
+				Count:        snap.Count(concept, e),
+				SubInstances: len(snap.SubInstances(concept, e)),
+			})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]InstanceInfo), nil
+}
+
+// Explain traces the provenance of one isA pair. Missing pairs yield
+// ErrNotFound. At most maxSupports supports are traced (0 means all).
+func (s *Service) Explain(ctx context.Context, concept, instance string, maxSupports int) (kb.Explanation, error) {
+	key := concept + "\x1f" + instance + "\x1f" + strconv.Itoa(maxSupports)
+	v, err := s.do(ctx, "explain", key, func(snap *snapshot.Snapshot) (any, error) {
+		ex, ok := snap.Explain(concept, instance, maxSupports)
+		if !ok {
+			return nil, fmt.Errorf("%w: pair (%s isA %s)", ErrNotFound, instance, concept)
+		}
+		return ex, nil
+	})
+	if err != nil {
+		return kb.Explanation{}, err
+	}
+	return v.(kb.Explanation), nil
+}
+
+// Drifted ranks up to n instances of a concept by provenance-chain
+// depth, deepest first. Unknown concepts yield ErrNotFound.
+func (s *Service) Drifted(ctx context.Context, concept string, n int) ([]DriftedInstance, error) {
+	key := concept + "\x1f" + strconv.Itoa(n)
+	v, err := s.do(ctx, "drifted", key, func(snap *snapshot.Snapshot) (any, error) {
+		if !snap.HasConcept(concept) {
+			return nil, fmt.Errorf("%w: concept %q", ErrNotFound, concept)
+		}
+		depth := snap.DriftDepth(concept)
+		names := snap.TopDrifted(concept, n)
+		out := make([]DriftedInstance, 0, len(names))
+		for _, e := range names {
+			out = append(out, DriftedInstance{Name: e, Depth: depth[e]})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]DriftedInstance), nil
+}
+
+// Metrics returns an exported snapshot of all service metrics.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	entries := s.cache.len()
+	s.mu.Unlock()
+	m := Metrics{
+		Generation: s.Generation(),
+		Swaps:      s.swaps.Load(),
+		CacheSize:  entries,
+		Endpoints:  make(map[string]EndpointStats, len(s.metrics)),
+	}
+	for name, em := range s.metrics {
+		m.Endpoints[name] = em.snapshot()
+	}
+	return m
+}
+
+// do is the shared query path: resolve the current snapshot, consult the
+// (generation, query)-keyed cache, coalesce identical in-flight
+// computations, record metrics. compute runs against one pinned
+// snapshot, so a concurrent Swap never gives a query a torn view.
+func (s *Service) do(ctx context.Context, endpoint, qkey string, compute func(*snapshot.Snapshot) (any, error)) (any, error) {
+	m := s.metrics[endpoint]
+	start := time.Now()
+	v, err := s.doPinned(ctx, m, endpoint, qkey, compute)
+	m.observe(time.Since(start), err)
+	return v, err
+}
+
+func (s *Service) doPinned(ctx context.Context, m *endpointMetrics, endpoint, qkey string, compute func(*snapshot.Snapshot) (any, error)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	snap := s.cur.Load()
+	if snap == nil {
+		return nil, ErrNoSnapshot
+	}
+	key := endpoint + "\x1f" + strconv.FormatUint(snap.Generation(), 10) + "\x1f" + qkey
+	s.mu.Lock()
+	v, ok := s.cache.get(key)
+	s.mu.Unlock()
+	if ok {
+		m.cacheHits.Add(1)
+		return v, nil
+	}
+	v, err, shared := s.flights.do(key, func() (any, error) {
+		v, err := compute(snap)
+		if err != nil {
+			return nil, err // never cache errors
+		}
+		s.mu.Lock()
+		s.cache.add(key, v)
+		s.mu.Unlock()
+		return v, nil
+	})
+	if shared {
+		m.coalesced.Add(1)
+	} else {
+		m.cacheMisses.Add(1)
+	}
+	return v, err
+}

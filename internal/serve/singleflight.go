@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent calls with the same key into one
+// execution: the first caller runs fn, the rest block until it finishes
+// and receive the same result. This is the classic singleflight pattern,
+// reimplemented here because the module is dependency-free by design.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg sync.WaitGroup
+	// waiters counts callers coalesced onto this call; tests use it to
+	// deterministically wait until followers are parked.
+	waiters atomic.Int32
+	val     any
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do executes fn once per in-flight key. shared reports whether this
+// caller piggybacked on another caller's execution.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

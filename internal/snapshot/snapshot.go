@@ -1,0 +1,119 @@
+// Package snapshot provides an immutable, concurrency-safe point-in-time
+// view of a knowledge base. The extraction and cleaning pipeline mutates
+// a *kb.KB in place from a single goroutine; readers — the kbquery CLI,
+// the driftserve HTTP server, and any embedder of internal/serve — need a
+// stable view that never changes underneath them. Freeze produces one:
+// it deep-clones the KB (cheap: string contents are shared, only index
+// slices and maps are copied) and never mutates the clone again, so
+// every read method is safe for unbounded concurrent use without locks.
+//
+// Snapshot deliberately delegates all traversal — instance listing,
+// provenance explanation, drift ranking — to the kb package itself, so
+// the CLI and the server answer queries with the exact same code that
+// the cleaning pipeline uses, rather than a parallel reimplementation
+// that could drift out of sync.
+package snapshot
+
+import (
+	"sync/atomic"
+
+	"driftclean/internal/kb"
+)
+
+// generation is the process-wide monotonic snapshot counter. Each Freeze
+// gets the next value; the serving layer keys its result cache by it so
+// a hot reload implicitly invalidates every cached result.
+var generation atomic.Uint64
+
+// Snapshot is an immutable view of a KB frozen at a point in time. All
+// methods are safe for concurrent use by any number of goroutines.
+type Snapshot struct {
+	gen uint64
+	k   *kb.KB // private deep clone; never mutated after Freeze returns
+
+	// Precomputed at freeze: aggregates every query path touches.
+	stats    kb.Stats
+	concepts []string
+	// byInstance is the reverse index instance → concepts, so
+	// ConceptsOfInstance is a map lookup instead of the full scan the
+	// mutable KB performs.
+	byInstance map[string][]string
+}
+
+// Freeze deep-clones the KB into a new immutable snapshot. The caller
+// may keep mutating the original KB afterwards; the snapshot is
+// unaffected. Aggregate statistics, the concept list and the reverse
+// instance index are precomputed here so the hottest read paths do no
+// work proportional to KB size.
+func Freeze(source *kb.KB) *Snapshot {
+	k := source.Clone()
+	s := &Snapshot{
+		gen:        generation.Add(1),
+		k:          k,
+		stats:      k.Stats(),
+		concepts:   k.Concepts(),
+		byInstance: make(map[string][]string),
+	}
+	for _, p := range k.Pairs() {
+		s.byInstance[p.Instance] = append(s.byInstance[p.Instance], p.Concept)
+	}
+	return s
+}
+
+// Generation returns the snapshot's process-wide monotonic generation
+// number. Later freezes always have strictly larger generations.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Stats returns the aggregate KB statistics, precomputed at freeze.
+func (s *Snapshot) Stats() kb.Stats { return s.stats }
+
+// Concepts returns all concepts with at least one active instance,
+// sorted. The returned slice is shared and must not be modified.
+func (s *Snapshot) Concepts() []string { return s.concepts }
+
+// HasConcept reports whether the concept has at least one active
+// instance in the snapshot.
+func (s *Snapshot) HasConcept(concept string) bool {
+	return len(s.k.Instances(concept)) > 0
+}
+
+// Instances returns the instances under a concept, sorted.
+func (s *Snapshot) Instances(concept string) []string { return s.k.Instances(concept) }
+
+// Has reports whether the pair is in the snapshot with positive count.
+func (s *Snapshot) Has(concept, instance string) bool { return s.k.Has(concept, instance) }
+
+// Count returns the active support count of a pair (0 if absent).
+func (s *Snapshot) Count(concept, instance string) int { return s.k.Count(concept, instance) }
+
+// Explain traces the provenance of a pair; ok=false when the pair is not
+// in the snapshot. At most maxSupports supporting extractions are traced
+// (0 means all).
+func (s *Snapshot) Explain(concept, instance string, maxSupports int) (kb.Explanation, bool) {
+	return s.k.Explain(concept, instance, maxSupports)
+}
+
+// SubInstances returns sub(e): instances whose extraction was triggered
+// by the given instance, sorted.
+func (s *Snapshot) SubInstances(concept, instance string) []string {
+	return s.k.SubInstances(concept, instance)
+}
+
+// ConceptsOfInstance returns all concepts holding the instance, sorted.
+// Unlike the mutable KB's full scan this is a single map lookup against
+// the reverse index built at freeze. The returned slice is shared and
+// must not be modified.
+func (s *Snapshot) ConceptsOfInstance(instance string) []string {
+	return s.byInstance[instance]
+}
+
+// DriftDepth returns, for every active pair of a concept, the length of
+// its provenance chain back to the core (1 for core pairs).
+func (s *Snapshot) DriftDepth(concept string) map[string]int { return s.k.DriftDepth(concept) }
+
+// TopDrifted returns up to n instances of the concept with the deepest
+// provenance chains, deepest first (ties by name).
+func (s *Snapshot) TopDrifted(concept string, n int) []string { return s.k.TopDrifted(concept, n) }
+
+// NumPairs returns the number of distinct active pairs.
+func (s *Snapshot) NumPairs() int { return s.stats.DistinctPairs }

@@ -1,0 +1,123 @@
+package snapshot
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"driftclean/internal/kb"
+)
+
+// fixtureKB builds a KB with a drift chain under "animal" and a second
+// concept sharing the polysemous instance "jaguar".
+func fixtureKB() *kb.KB {
+	k := kb.New()
+	k.AddExtraction(0, "animal", []string{"animal"}, []string{"dog", "jaguar"}, nil, 1)
+	k.AddExtraction(1, "animal", []string{"animal", "car"}, []string{"dog", "wolf"}, []string{"dog"}, 2)
+	k.AddExtraction(2, "animal", []string{"animal"}, []string{"wolf", "dingo"}, []string{"wolf"}, 3)
+	k.AddExtraction(3, "car", []string{"car"}, []string{"jaguar", "mustang"}, nil, 1)
+	return k
+}
+
+func TestFreezeMatchesSource(t *testing.T) {
+	k := fixtureKB()
+	s := Freeze(k)
+
+	if !reflect.DeepEqual(s.Stats(), k.Stats()) {
+		t.Errorf("snapshot stats %+v != kb %+v", s.Stats(), k.Stats())
+	}
+	if !reflect.DeepEqual(s.Concepts(), k.Concepts()) {
+		t.Errorf("concepts %v != %v", s.Concepts(), k.Concepts())
+	}
+	for _, c := range k.Concepts() {
+		if !s.HasConcept(c) {
+			t.Errorf("HasConcept(%q) = false", c)
+		}
+		if !reflect.DeepEqual(s.Instances(c), k.Instances(c)) {
+			t.Errorf("instances of %q differ", c)
+		}
+		if !reflect.DeepEqual(s.DriftDepth(c), k.DriftDepth(c)) {
+			t.Errorf("drift depth of %q differs", c)
+		}
+		if !reflect.DeepEqual(s.TopDrifted(c, 3), k.TopDrifted(c, 3)) {
+			t.Errorf("top drifted of %q differs", c)
+		}
+		for _, e := range k.Instances(c) {
+			if s.Count(c, e) != k.Count(c, e) || s.Has(c, e) != k.Has(c, e) {
+				t.Errorf("count/has of (%s,%s) differ", c, e)
+			}
+			if !reflect.DeepEqual(s.SubInstances(c, e), k.SubInstances(c, e)) {
+				t.Errorf("subs of (%s,%s) differ", c, e)
+			}
+			if !reflect.DeepEqual(s.ConceptsOfInstance(e), k.ConceptsOfInstance(e)) {
+				t.Errorf("ConceptsOfInstance(%q) = %v, want %v", e, s.ConceptsOfInstance(e), k.ConceptsOfInstance(e))
+			}
+		}
+	}
+	wantEx, wantOK := k.Explain("animal", "dingo", 0)
+	gotEx, gotOK := s.Explain("animal", "dingo", 0)
+	if gotOK != wantOK || !reflect.DeepEqual(gotEx, wantEx) {
+		t.Error("snapshot explanation differs from kb explanation")
+	}
+	if s.HasConcept("no-such-concept") {
+		t.Error("HasConcept true for absent concept")
+	}
+	if _, ok := s.Explain("animal", "absent", 0); ok {
+		t.Error("Explain ok for absent pair")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	k := fixtureKB()
+	s := Freeze(k)
+	// Mutate the source after freezing: cascade-remove dog (takes wolf
+	// and dingo with it).
+	k.RemovePairs([]kb.Pair{{Concept: "animal", Instance: "dog"}})
+	k.AddExtraction(9, "animal", []string{"animal"}, []string{"ferret"}, nil, 4)
+
+	if !s.Has("animal", "dog") || !s.Has("animal", "dingo") {
+		t.Error("source mutation leaked into snapshot")
+	}
+	if s.Has("animal", "ferret") {
+		t.Error("post-freeze extraction visible in snapshot")
+	}
+	if got := s.Stats().DistinctPairs; got != 6 {
+		t.Errorf("snapshot pairs = %d, want 6", got)
+	}
+}
+
+func TestGenerationsMonotonic(t *testing.T) {
+	k := fixtureKB()
+	a, b, c := Freeze(k), Freeze(k), Freeze(k)
+	if !(a.Generation() < b.Generation() && b.Generation() < c.Generation()) {
+		t.Errorf("generations not strictly increasing: %d, %d, %d",
+			a.Generation(), b.Generation(), c.Generation())
+	}
+}
+
+// TestConcurrentReads hammers every read method from many goroutines;
+// run under -race this proves the snapshot needs no locks.
+func TestConcurrentReads(t *testing.T) {
+	s := Freeze(fixtureKB())
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.Stats()
+				for _, c := range s.Concepts() {
+					for _, e := range s.Instances(c) {
+						_ = s.Count(c, e)
+						_ = s.SubInstances(c, e)
+						_ = s.ConceptsOfInstance(e)
+					}
+					_ = s.TopDrifted(c, 5)
+					_ = s.DriftDepth(c)
+				}
+				_, _ = s.Explain("animal", "dingo", 0)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,11 +15,21 @@ cd "$(dirname "$0")/.."
 echo "==> go build ./..."
 go build ./...
 
+echo "==> go build ./cmd/driftserve (serving binary)"
+go build -o "$(mktemp -d)/driftserve" ./cmd/driftserve
+
 echo "==> go vet ./..."
 go vet ./...
 
 echo "==> driftlint ./..."
 go run ./cmd/driftlint ./...
+
+echo "==> driftlint (serving packages)"
+go run ./cmd/driftlint ./internal/snapshot/... ./internal/serve/... ./cmd/driftserve/... ./cmd/kbquery/...
+
+echo "==> go test -race (serving: snapshot swap under concurrent readers)"
+go test -race -run 'TestSwapUnderConcurrentReaders|TestConcurrentReads|TestCoalescing' \
+  ./internal/snapshot ./internal/serve
 
 echo "==> go test -race ./..."
 go test -race ./...
