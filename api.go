@@ -158,8 +158,12 @@ type Report struct {
 	PError, RError, PCorr, RCorr float64
 	// PairsBefore/After count distinct isA pairs.
 	PairsBefore, PairsAfter int
-	// Rounds is the number of detect-and-clean rounds executed.
+	// Rounds is the number of detect-and-clean rounds executed, including
+	// the terminating round in which the detector found nothing.
 	Rounds int
+	// Converged reports that cleaning stopped because a round detected no
+	// DPs at all (the Sec 4.2 fixpoint) rather than exhausting MaxRounds.
+	Converged bool
 	// System retains the built (and now cleaned) system for inspection.
 	System *System
 }
@@ -227,13 +231,18 @@ func CleanWithContext(ctx context.Context, method DetectorKind, opts ...Option) 
 	rep.PrecisionAfter = sys.Oracle.KBPrecision(sys.KB, nil)
 	rep.PairsAfter = sys.KB.NumPairs()
 	rep.Rounds = len(cr.Clean.Rounds)
+	rep.Converged = cr.Clean.Converged
 	var per []eval.CleaningMetrics
 	for concept, before := range cr.BeforeInstances {
 		per = append(per, sys.Oracle.Cleaning(concept, before, sys.KB))
 	}
 	m := eval.MergeCleaning(per)
 	rep.PError, rep.RError, rep.PCorr, rep.RCorr = m.PError, m.RError, m.PCorr, m.RCorr
-	if rep.Rounds == 0 {
+	totalDPs := 0
+	for _, rr := range cr.Clean.Rounds {
+		totalDPs += rr.AccidentalDPs + rr.IntentionalDPs
+	}
+	if totalDPs == 0 {
 		return rep, ErrNoDPsDetected
 	}
 	return rep, nil

@@ -52,9 +52,9 @@ func TestCleanContextProgressAndReport(t *testing.T) {
 			t.Errorf("middle event %d = {%v %d}, want {clean %d}", cleanRounds, e.phase, e.round, cleanRounds)
 		}
 	}
-	// The loop emits a round event before discovering there is nothing
-	// left to do, so rounds executed is rep.Rounds or rep.Rounds+1.
-	if cleanRounds != rep.Rounds && cleanRounds != rep.Rounds+1 {
+	// Every executed round — including the terminating zero-DP one — is
+	// both announced through OnRound and recorded in the report.
+	if cleanRounds != rep.Rounds {
 		t.Errorf("saw %d clean-round events for %d reported rounds", cleanRounds, rep.Rounds)
 	}
 }
@@ -96,7 +96,10 @@ func TestCleanContextNoDPsDetected(t *testing.T) {
 	if !errors.Is(err, ErrNoDPsDetected) {
 		t.Fatalf("err = %v, want ErrNoDPsDetected", err)
 	}
-	if rep == nil || rep.Rounds != 0 {
+	// A DP-free run still executes (and records) the one detection round
+	// that discovered there was nothing to clean, and that round is the
+	// convergence fixpoint.
+	if rep == nil || rep.Rounds != 1 || !rep.Converged {
 		t.Fatalf("report alongside ErrNoDPsDetected = %+v", rep)
 	}
 	if rep.PairsAfter != rep.PairsBefore {

@@ -1,0 +1,54 @@
+// Command driftbench times the full driftclean pipeline — world →
+// corpus → extraction → analysis → cleaning — on the serial path and
+// with the worker pools engaged, and writes the comparison to
+// BENCH_pipeline.json (schema documented in README.md, "Performance").
+//
+// Usage:
+//
+//	driftbench                  # full ladder (small/medium/large)
+//	driftbench -smoke           # single tiny scale, for CI
+//	driftbench -out bench.json  # artifact path (default BENCH_pipeline.json)
+//
+// The exit status is nonzero if any scale's serial and parallel runs
+// disagree on the final KB — the determinism guarantee is part of what
+// this benchmark verifies, not an assumption it makes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"driftclean/internal/bench"
+)
+
+func main() {
+	smoke := flag.Bool("smoke", false, "run the single tiny CI scale instead of the full ladder")
+	out := flag.String("out", "BENCH_pipeline.json", "artifact output path")
+	flag.Parse()
+
+	scales := bench.DefaultScales()
+	if *smoke {
+		scales = bench.SmokeScales()
+	}
+	res := bench.Run(scales, func(line string) { fmt.Println(line) })
+	if err := res.WriteJSON(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ok := true
+	fmt.Printf("\n%-8s %10s %10s %8s  %s\n", "scale", "serial_s", "parallel_s", "speedup", "identical")
+	for _, sc := range res.Scales {
+		fmt.Printf("%-8s %10.2f %10.2f %7.2fx  %v\n",
+			sc.Name, sc.Serial.Stages.Total, sc.Parallel.Stages.Total, sc.Speedup, sc.Identical)
+		if !sc.Identical {
+			ok = false
+		}
+	}
+	fmt.Printf("cpus=%d workers=%d artifact=%s\n", res.CPUs, res.ParallelWorkers, *out)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "driftbench: serial and parallel runs diverged — determinism violation")
+		os.Exit(1)
+	}
+}

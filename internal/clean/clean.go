@@ -17,6 +17,7 @@ import (
 
 	"driftclean/internal/dp"
 	"driftclean/internal/kb"
+	"driftclean/internal/par"
 	"driftclean/internal/rank"
 )
 
@@ -32,8 +33,16 @@ type DetectFunc func(k *kb.KB) Labels
 type Config struct {
 	// MaxRounds bounds detect-clean rounds.
 	MaxRounds int
-	// Walk configures the random-walk scores behind Eq 21.
+	// Walk configures the random-walk scores behind Eq 21. Zero-valued
+	// fields take their defaults individually (rank.DefaultConfig), so a
+	// caller customizing only Restart or Tol keeps that customization.
 	Walk rank.Config
+	// Parallelism is the worker count used to precompute the Eq 21
+	// random-walk scores of a round's concepts before the sequential
+	// flagging pass. 1 forces the serial (lazy, one-at-a-time) path;
+	// values below 1 use every CPU. Scores are deterministic, so the
+	// flagging outcome is identical at any setting.
+	Parallelism int
 	// DropAllIntentional replaces the Eq 21 check with a drop-all policy
 	// for Intentional-DP-triggered extractions (ablation: "drop-all vs
 	// Eq 21").
@@ -67,24 +76,47 @@ type RoundResult struct {
 
 // Result aggregates a full cleaning run.
 type Result struct {
+	// Rounds records every detect-and-clean round executed, including a
+	// terminating round in which the detector found nothing — that final
+	// zero-DP entry is what distinguishes convergence from exhaustion.
 	Rounds []RoundResult
 	// TotalPairsRemoved counts distinct pair removals across rounds.
 	TotalPairsRemoved      int
 	TotalExtractionsRolled int
+	// Converged reports that the loop stopped because a round detected no
+	// DPs at all (the Sec 4.2 fixpoint). It is false when the loop ran
+	// out of MaxRounds with DPs still being detected, and false when
+	// Stopped is true.
+	Converged bool
 	// Stopped reports that Config.OnRound halted the loop early.
 	Stopped bool
+}
+
+// withDefaults fills the zero-valued knobs of a Config. Walk is
+// defaulted field by field so a caller who customized only part of the
+// walk configuration (say, the restart probability) keeps it.
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = def.MaxRounds
+	}
+	if c.Walk.Restart == 0 {
+		c.Walk.Restart = def.Walk.Restart
+	}
+	if c.Walk.MaxIter == 0 {
+		c.Walk.MaxIter = def.Walk.MaxIter
+	}
+	if c.Walk.Tol == 0 {
+		c.Walk.Tol = def.Walk.Tol
+	}
+	return c
 }
 
 // Run executes the iterative DP-cleaning loop: detect DPs, clean their
 // effects, repeat until no DPs are found or MaxRounds is reached. The KB
 // is modified in place.
 func Run(k *kb.KB, detect DetectFunc, cfg Config) *Result {
-	if cfg.MaxRounds <= 0 {
-		cfg.MaxRounds = DefaultConfig().MaxRounds
-	}
-	if cfg.Walk.MaxIter == 0 {
-		cfg.Walk = rank.DefaultConfig()
-	}
+	cfg = cfg.withDefaults()
 	res := &Result{}
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		if cfg.OnRound != nil && cfg.OnRound(round) {
@@ -94,14 +126,15 @@ func Run(k *kb.KB, detect DetectFunc, cfg Config) *Result {
 		labels := detect(k)
 		rr := CleanRound(k, labels, cfg)
 		rr.Round = round
-		if rr.AccidentalDPs == 0 && rr.IntentionalDPs == 0 {
-			break
-		}
 		res.Rounds = append(res.Rounds, rr)
 		res.TotalPairsRemoved += rr.PairsRemoved
 		res.TotalExtractionsRolled += rr.ExtractionsRolled
+		if rr.AccidentalDPs == 0 && rr.IntentionalDPs == 0 {
+			res.Converged = true // detector found nothing: the fixpoint
+			break
+		}
 		if rr.PairsRemoved == 0 && rr.ExtractionsRolled == 0 {
-			break // detected DPs produced no change; a fixpoint
+			break // detected DPs produced no change; stuck, not converged
 		}
 	}
 	return res
@@ -109,6 +142,7 @@ func Run(k *kb.KB, detect DetectFunc, cfg Config) *Result {
 
 // CleanRound applies one round of cleaning for the given DP labels.
 func CleanRound(k *kb.KB, labels Labels, cfg Config) RoundResult {
+	cfg = cfg.withDefaults()
 	var rr RoundResult
 	// Deterministic concept order.
 	concepts := make([]string, 0, len(labels))
@@ -120,7 +154,21 @@ func CleanRound(k *kb.KB, labels Labels, cfg Config) RoundResult {
 	// Phase 1: Intentional DPs — check their triggered extractions with
 	// Eq 21 and roll back losers. Run before Accidental removal so the
 	// walk scores still reflect the full graph.
+	//
+	// The per-concept random walks behind Eq 21 dominate a round's cost,
+	// and the set of concepts Phase 1 will score is known up front: each
+	// checked extraction consults its chosen concept and every sentence
+	// candidate. Precompute those walks concurrently into the cache
+	// before the (order-sensitive, sequential) flagging pass; the lazy
+	// path below stays as the serial fallback and as a safety net for any
+	// concept the prepass missed. Walk scores are deterministic, so the
+	// flags are identical either way.
 	scoreCache := map[string]rank.Scores{}
+	if workers := par.Workers(cfg.Parallelism); workers > 1 && !cfg.DropAllIntentional {
+		if need := phase1Concepts(k, labels, concepts); len(need) > 0 {
+			scoreCache = rank.WalkConcepts(k, need, cfg.Walk, workers)
+		}
+	}
 	scoresOf := func(concept string) rank.Scores {
 		if s, ok := scoreCache[concept]; ok {
 			return s
@@ -212,6 +260,38 @@ func SentenceScore(instances []string, concept string, candidates []string, scor
 		total += scoresOf(concept)[e] / denom
 	}
 	return total
+}
+
+// phase1Concepts collects, in sorted order, every concept whose walk
+// scores Phase 1 can request: for each Intentional DP, the chosen
+// concept and all sentence candidates of each active multi-candidate
+// extraction it triggered. This mirrors ExtractionPassesCheck /
+// SentenceScore exactly so the parallel prepass covers the full demand.
+func phase1Concepts(k *kb.KB, labels Labels, concepts []string) []string {
+	need := map[string]bool{}
+	for _, concept := range concepts {
+		for instance, lbl := range labels[concept] {
+			if lbl != dp.Intentional {
+				continue
+			}
+			for _, exID := range k.TriggeredExtractions(concept, instance) {
+				ex := k.Extraction(exID)
+				if !ex.Active || ex.Concept != concept || len(ex.Candidates) < 2 {
+					continue
+				}
+				need[concept] = true
+				for _, c := range ex.Candidates {
+					need[c] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(need))
+	for c := range need {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func dedupInts(xs []int) []int {

@@ -152,8 +152,14 @@ func TestRunStopsWhenNoDPs(t *testing.T) {
 		calls++
 		return Labels{}
 	}, DefaultConfig())
-	if calls != 1 || len(res.Rounds) != 0 {
-		t.Errorf("calls=%d rounds=%d, want one no-op detection", calls, len(res.Rounds))
+	if calls != 1 || len(res.Rounds) != 1 {
+		t.Errorf("calls=%d rounds=%d, want one recorded no-op detection", calls, len(res.Rounds))
+	}
+	if !res.Converged {
+		t.Error("a zero-DP round is the fixpoint; Converged must be true")
+	}
+	if rr := res.Rounds[0]; rr.AccidentalDPs != 0 || rr.IntentionalDPs != 0 {
+		t.Errorf("terminating round must record zero DPs, got %+v", rr)
 	}
 }
 
@@ -167,8 +173,17 @@ func TestRunIterates(t *testing.T) {
 		}
 		return Labels{}
 	}, DefaultConfig())
-	if len(res.Rounds) != 1 {
-		t.Fatalf("rounds = %d, want 1", len(res.Rounds))
+	// The working round plus the terminating zero-DP round: dropping the
+	// latter (the old off-by-one) made convergence indistinguishable from
+	// MaxRounds exhaustion.
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2 (working round + terminating zero-DP round)", len(res.Rounds))
+	}
+	if !res.Converged {
+		t.Error("run ended on a zero-DP round; Converged must be true")
+	}
+	if last := res.Rounds[1]; last.AccidentalDPs != 0 || last.IntentionalDPs != 0 {
+		t.Errorf("terminating round must record zero DPs, got %+v", last)
 	}
 	if res.TotalPairsRemoved == 0 {
 		t.Error("first round should have removed the drifted pairs")
@@ -183,13 +198,59 @@ func TestRunRespectsMaxRounds(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxRounds = 2
 	calls := 0
-	Run(k, func(*kb.KB) Labels {
+	res := Run(k, func(*kb.KB) Labels {
 		calls++
 		// Always report a (harmless, already-removed) DP to force looping.
 		return Labels{"animal": {"ghost": dp.Accidental}}
 	}, cfg)
 	if calls > 2 {
 		t.Errorf("detect called %d times with MaxRounds=2", calls)
+	}
+	if res.Converged {
+		t.Error("a run that never saw a zero-DP round must not report convergence")
+	}
+}
+
+// TestRunKeepsCustomWalkConfig is the regression test for the config
+// clobber: Run used to replace the caller's whole Walk config with
+// rank.DefaultConfig() whenever Walk.MaxIter was zero, silently
+// discarding a customized restart probability or tolerance.
+func TestRunKeepsCustomWalkConfig(t *testing.T) {
+	cfg := Config{Walk: rank.Config{Restart: 0.31, MaxIter: 0}}
+	got := cfg.withDefaults()
+	if got.Walk.Restart != 0.31 {
+		t.Errorf("Walk.Restart = %v, want the caller's 0.31 preserved", got.Walk.Restart)
+	}
+	def := rank.DefaultConfig()
+	if got.Walk.MaxIter != def.MaxIter || got.Walk.Tol != def.Tol {
+		t.Errorf("zero-valued Walk fields must take defaults individually: %+v", got.Walk)
+	}
+	if got.MaxRounds != DefaultConfig().MaxRounds {
+		t.Errorf("MaxRounds = %d, want default", got.MaxRounds)
+	}
+}
+
+// TestCleanRoundParallelMatchesSerial pins the prewarm guarantee: the
+// concurrent score precomputation must not change any flagging decision.
+func TestCleanRoundParallelMatchesSerial(t *testing.T) {
+	labels := Labels{"animal": {"chicken": dp.Intentional}}
+	serialKB, parKB := paperExampleKB(), paperExampleKB()
+
+	serialCfg := DefaultConfig()
+	serialCfg.Parallelism = 1
+	serial := CleanRound(serialKB, labels, serialCfg)
+
+	parCfg := DefaultConfig()
+	parCfg.Parallelism = 4
+	parallel := CleanRound(parKB, labels, parCfg)
+
+	if serial != parallel {
+		t.Errorf("parallel round %+v differs from serial %+v", parallel, serial)
+	}
+	for _, pair := range [][2]string{{"animal", "pork"}, {"animal", "chicken"}, {"food", "pork"}} {
+		if serialKB.Has(pair[0], pair[1]) != parKB.Has(pair[0], pair[1]) {
+			t.Errorf("KB state diverges at %v", pair)
+		}
 	}
 }
 

@@ -7,7 +7,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -22,6 +21,7 @@ import (
 	"driftclean/internal/learn"
 	"driftclean/internal/linalg"
 	"driftclean/internal/mutex"
+	"driftclean/internal/par"
 	"driftclean/internal/seedlabel"
 	"driftclean/internal/world"
 )
@@ -49,6 +49,33 @@ type Config struct {
 	// SharedDim is the common KPCA dimensionality all tasks are padded
 	// to for multi-task training.
 	SharedDim int
+
+	// Parallelism is the single worker-count knob for every parallel
+	// stage of the pipeline: corpus sharding, the extraction parse and
+	// disambiguation scans, the per-concept analysis fan-out, and the
+	// cleaning score prewarm. The default (0, or any value below 1) uses
+	// every CPU; 1 forces the serial path everywhere, which is the A/B
+	// lever behind the determinism guarantee — output is identical at any
+	// setting. Subsystem configs that set their own Parallelism keep it.
+	Parallelism int
+}
+
+// workers resolves the configured parallelism to a worker count.
+func (c Config) workers() int { return par.Workers(c.Parallelism) }
+
+// propagate copies the top-level Parallelism into subsystem configs that
+// did not choose their own.
+func (c Config) propagate() Config {
+	if c.Corpus.Parallelism == 0 {
+		c.Corpus.Parallelism = c.Parallelism
+	}
+	if c.Extract.Parallelism == 0 {
+		c.Extract.Parallelism = c.Parallelism
+	}
+	if c.Clean.Parallelism == 0 {
+		c.Clean.Parallelism = c.Parallelism
+	}
+	return c
 }
 
 // DefaultConfig returns the configuration used across the experiments:
@@ -84,6 +111,7 @@ type System struct {
 
 // Build generates the world and corpus and runs the iterative extraction.
 func Build(cfg Config) *System {
+	cfg = cfg.propagate()
 	w := world.New(cfg.World)
 	c := corpus.Generate(w, cfg.Corpus)
 	res := extract.Run(c, cfg.Extract)
@@ -126,7 +154,7 @@ func (s *System) Analyze(k *kb.KB) (*Analysis, error) {
 			eligible = append(eligible, concept)
 		}
 	}
-	parallelism := runtime.NumCPU()
+	parallelism := s.Cfg.workers()
 	a.Features.Warm(eligible, parallelism)
 
 	tasks := make([]*learn.Task, len(eligible))
@@ -197,12 +225,12 @@ func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, 
 			unlabeled = append(unlabeled, i)
 		}
 	}
-	cap := s.Cfg.KPCAFitCap
-	if cap <= 0 {
-		cap = DefaultConfig().KPCAFitCap
+	fitCap := s.Cfg.KPCAFitCap
+	if fitCap <= 0 {
+		fitCap = DefaultConfig().KPCAFitCap
 	}
 	stride := 1
-	if room := cap - len(fitIdx); room > 0 && len(unlabeled) > room {
+	if room := fitCap - len(fitIdx); room > 0 && len(unlabeled) > room {
 		stride = (len(unlabeled) + room - 1) / room
 	}
 	for i := 0; i < len(unlabeled); i += stride {
@@ -477,7 +505,7 @@ func (s *System) CleanDPs(kind DetectorKind) (*CleanResult, error) {
 			return clean.Labels{}
 		}
 		return onlyDPs(labels)
-	}, s.Cfg.Clean)
+	}, s.Cfg.propagate().Clean)
 	if detectErr != nil {
 		return nil, detectErr
 	}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"driftclean/internal/dp"
+	"driftclean/internal/learn"
+)
+
+// guardTask builds a one-instance task with the given raw f2/f6 features
+// and seed-label status.
+func guardTask(name string, f2, f6 float64, labeled bool, seedLabel dp.Label) *learn.Task {
+	return &learn.Task{
+		Concept: "animal",
+		Instances: []learn.Instance{{
+			Name:    name,
+			Raw:     []float64{0, f2, 0, 0, 0, f6, 0, 0},
+			Labeled: labeled,
+			Label:   seedLabel,
+		}},
+	}
+}
+
+func TestGuardDPsTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		label   dp.Label
+		f2, f6  float64
+		labeled bool
+		want    dp.Label
+	}{
+		{
+			name:  "intentional with no exclusive signal is demoted",
+			label: dp.Intentional, f2: 0, f6: 0,
+			want: dp.NonDP,
+		},
+		{
+			name:  "intentional with exclusive-concept membership survives",
+			label: dp.Intentional, f2: 1, f6: 0,
+			want: dp.Intentional,
+		},
+		{
+			name:  "intentional with strong sub-instance drift survives",
+			label: dp.Intentional, f2: 0, f6: 0.5,
+			want: dp.Intentional,
+		},
+		{
+			name:  "intentional with weak sub-instance drift alone is demoted",
+			label: dp.Intentional, f2: 0, f6: 0.1,
+			want: dp.NonDP,
+		},
+		{
+			name:  "accidental with no signal at all is demoted",
+			label: dp.Accidental, f2: 0, f6: 0,
+			want: dp.NonDP,
+		},
+		{
+			name:  "accidental with any sub-instance signal survives",
+			label: dp.Accidental, f2: 0, f6: 0.05,
+			want: dp.Accidental,
+		},
+		{
+			name:  "accidental with exclusive membership survives",
+			label: dp.Accidental, f2: 2, f6: 0,
+			want: dp.Accidental,
+		},
+		{
+			// Seed-labeled instances carry human/oracle ground truth; the
+			// guard must never override them, signal or not.
+			name:  "seed-labeled intentional is exempt from the guard",
+			label: dp.Intentional, f2: 0, f6: 0,
+			labeled: true,
+			want:    dp.Intentional,
+		},
+		{
+			name:  "seed-labeled accidental is exempt from the guard",
+			label: dp.Accidental, f2: 0, f6: 0,
+			labeled: true,
+			want:    dp.Accidental,
+		},
+		{
+			name:  "non-DP predictions pass through untouched",
+			label: dp.NonDP, f2: 0, f6: 0,
+			want: dp.NonDP,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			task := guardTask("chicken", tc.f2, tc.f6, tc.labeled, tc.label)
+			labels := map[string]dp.Label{"chicken": tc.label}
+			guardDPs(labels, task)
+			if got := labels["chicken"]; got != tc.want {
+				t.Errorf("guardDPs(%v, f2=%v, f6=%v, labeled=%v) = %v, want %v",
+					tc.label, tc.f2, tc.f6, tc.labeled, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGuardDPsSkipsUnpredictedAndNil(t *testing.T) {
+	task := guardTask("chicken", 0, 0, false, dp.Intentional)
+	guardDPs(nil, task) // must not panic
+
+	labels := map[string]dp.Label{"other": dp.Intentional}
+	guardDPs(labels, task)
+	if labels["other"] != dp.Intentional {
+		t.Error("instances absent from the task must not be rewritten")
+	}
+}

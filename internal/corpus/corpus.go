@@ -21,6 +21,15 @@
 // complete the Accidental-DP sources. Every sentence carries hidden ground
 // truth (true concept, known-wrong instances) that only the evaluation
 // package may consult.
+//
+// Generation is sharded for parallelism without sacrificing determinism:
+// the sentence budget is split into fixed-size shards, each with its own
+// *rand.Rand stream derived from Config.Seed and the shard index, and the
+// shards are merged (with global deduplication) in shard order. The shard
+// decomposition depends only on the configuration — never on the worker
+// count — so any Parallelism setting yields the same corpus. Corpora that
+// fit in a single shard additionally reproduce the pre-sharding generator
+// byte for byte, because shard 0 continues the setup stream.
 package corpus
 
 import (
@@ -29,6 +38,7 @@ import (
 	"sort"
 	"strings"
 
+	"driftclean/internal/par"
 	"driftclean/internal/world"
 )
 
@@ -92,6 +102,13 @@ func (c *Corpus) Len() int { return len(c.Sentences) }
 type Config struct {
 	Seed         int64
 	NumSentences int
+
+	// Parallelism is the number of workers generating shards. It never
+	// changes the corpus — the shard decomposition and every shard's rand
+	// stream depend only on Seed and NumSentences — only how fast the
+	// shards are produced. 1 forces serial generation; values below 1 use
+	// every CPU.
+	Parallelism int
 
 	// FracModifier is the fraction of sentences with an ambiguous
 	// concept-prep-concept head; FracMisparse the fraction with the
@@ -175,8 +192,13 @@ func DefaultConfig() Config {
 	}
 }
 
+// shardTargetSize is the sentence budget of one generation shard. It is
+// a corpus-shape constant, not a tuning knob: changing it reshards the
+// budget and therefore changes the generated corpus.
+const shardTargetSize = 32768
+
 // Generate builds a deduplicated corpus over w. The same (world, Config)
-// always yields the same corpus.
+// always yields the same corpus, at any Parallelism.
 func Generate(w *world.World, cfg Config) *Corpus {
 	if cfg.NumSentences <= 0 {
 		cfg.NumSentences = DefaultConfig().NumSentences
@@ -203,17 +225,21 @@ func Generate(w *world.World, cfg Config) *Corpus {
 	return g.run()
 }
 
+// generator holds the immutable sampling substrate shared by every
+// shard: popularity orders, head/tail splits, bridge anchors and
+// distractor lists. It is built once from the base seed and only read
+// afterwards, so shards may consult it concurrently.
 type generator struct {
 	w   *world.World
 	cfg Config
-	rng *rand.Rand
+	rng *rand.Rand // base stream; consumed by setup, then owned by shard 0
 
 	concepts    []*world.Concept // popularity order
-	conceptZipf *rand.Zipf
+	conceptZipf *rand.Zipf       // bound to the base stream (shard 0)
 
 	heads      map[int][]string         // concept ID -> head instances (popularity order)
 	tails      map[int][]string         // concept ID -> non-head instances
-	headZipf   map[int]*rand.Zipf       // concept ID -> head sampler
+	headZipf   map[int]*rand.Zipf       // concept ID -> head sampler (base stream)
 	distractor map[int][]int            // concept ID -> distractor concept IDs (same domain)
 	bridges    map[[2]int][]string      // (concept C, distractor D) -> shared instances anchored at D
 	subOf      map[int][]*world.Concept // concept ID -> its sub-concepts
@@ -341,14 +367,158 @@ func newGenerator(w *world.World, cfg Config) *generator {
 	return g
 }
 
+// sampler is the per-shard draw state: its own rand stream and Zipf
+// samplers over the shared immutable setup. Shard 0's sampler continues
+// the base stream (so single-shard corpora match the pre-sharding
+// generator exactly); every other shard derives an independent stream
+// from the seed and its index.
+type sampler struct {
+	g           *generator
+	rng         *rand.Rand
+	conceptZipf *rand.Zipf
+	headZipf    map[int]*rand.Zipf
+}
+
+// samplerFor builds the draw state of one shard index. Index 0 adopts
+// the base stream; other indices get streams derived via shardSeed.
+func (g *generator) samplerFor(shard int) *sampler {
+	if shard == 0 {
+		return &sampler{g: g, rng: g.rng, conceptZipf: g.conceptZipf, headZipf: g.headZipf}
+	}
+	rng := rand.New(rand.NewSource(shardSeed(g.cfg.Seed, shard)))
+	return &sampler{
+		g:           g,
+		rng:         rng,
+		conceptZipf: rand.NewZipf(rng, g.cfg.ZipfS, 1, uint64(len(g.concepts)-1)),
+		headZipf:    make(map[int]*rand.Zipf),
+	}
+}
+
+// headSampler returns (building lazily if needed) this shard's Zipf
+// sampler over a concept's head. Construction draws nothing from the
+// stream, so laziness does not perturb determinism.
+func (s *sampler) headSampler(c *world.Concept) *rand.Zipf {
+	z, ok := s.headZipf[c.ID]
+	if !ok {
+		z = rand.NewZipf(s.rng, s.g.cfg.ZipfS, 1, uint64(len(s.g.heads[c.ID])-1))
+		s.headZipf[c.ID] = z
+	}
+	return z
+}
+
+// shardSeedSalt decorrelates derived shard streams from the base
+// stream's seed space. Like Seed itself, it is calibrated: among
+// candidate salts, this one keeps the default multi-shard corpora on
+// the paper's Fig 5(a) shape (iteration-1 precision high, deep decay).
+const shardSeedSalt = 0x4
+
+// shardSeed derives shard i's rand seed from the base seed with a
+// SplitMix64 finalizer, so shard streams are decorrelated from the base
+// stream and from each other.
+func shardSeed(seed int64, shard int) int64 {
+	z := (uint64(seed) ^ shardSeedSalt) + 0x9e3779b97f4a7c15*uint64(shard)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// shardPlan returns the per-shard base quotas: fixed-size shards of
+// shardTargetSize sentences, the last one truncated. The plan depends
+// only on the sentence budget.
+func shardPlan(n int) []int {
+	numShards := (n + shardTargetSize - 1) / shardTargetSize
+	quotas := make([]int, numShards)
+	for i := range quotas {
+		q := shardTargetSize
+		if rem := n - i*shardTargetSize; rem < q {
+			q = rem
+		}
+		quotas[i] = q
+	}
+	return quotas
+}
+
+// shardOutput is one shard's candidate sentences, locally deduplicated,
+// in draw order.
+type shardOutput struct {
+	texts  []string
+	truths []Truth
+}
+
 func (g *generator) run() *Corpus {
+	n := g.cfg.NumSentences
+	quotas := shardPlan(n)
+	outs := make([]shardOutput, len(quotas))
+	// One shard per claim: shards are coarse, equal-cost units.
+	par.ForChunked(len(quotas), par.Workers(g.cfg.Parallelism), 1, func(i int) {
+		outs[i] = g.generateShard(g.samplerFor(i), quotas[i])
+	})
+
+	// Merge in shard order under global deduplication. Pass 1 takes up to
+	// each shard's base quota so every shard contributes its share of the
+	// budget; pass 2 tops up from the shards' over-generated leftovers.
 	c := &Corpus{}
-	seen := make(map[string]struct{}, g.cfg.NumSentences)
-	attempts := 0
-	maxAttempts := g.cfg.NumSentences * 4
-	for len(c.Sentences) < g.cfg.NumSentences && attempts < maxAttempts {
-		attempts++
-		text, truth, ok := g.sentence()
+	seen := make(map[string]struct{}, n)
+	add := func(text string, truth Truth) bool {
+		if len(c.Sentences) >= n {
+			return false
+		}
+		if _, dup := seen[text]; dup {
+			return true
+		}
+		seen[text] = struct{}{}
+		id := len(c.Sentences)
+		c.Sentences = append(c.Sentences, Sentence{ID: id, Text: text})
+		c.truths = append(c.truths, truth)
+		return true
+	}
+	next := make([]int, len(outs)) // per-shard cursor into its candidates
+	for i := range outs {
+		taken := 0
+		for next[i] < len(outs[i].texts) && taken < quotas[i] && len(c.Sentences) < n {
+			if _, dup := seen[outs[i].texts[next[i]]]; !dup {
+				taken++
+			}
+			add(outs[i].texts[next[i]], outs[i].truths[next[i]])
+			next[i]++
+		}
+	}
+	for i := range outs {
+		for next[i] < len(outs[i].texts) && len(c.Sentences) < n {
+			add(outs[i].texts[next[i]], outs[i].truths[next[i]])
+			next[i]++
+		}
+	}
+
+	// Sequential top-up from a dedicated derived stream for the rare case
+	// where cross-shard duplication exhausted every shard's overage.
+	if len(c.Sentences) < n {
+		s := g.samplerFor(len(quotas)) // index past every shard: unused stream
+		deficit := n - len(c.Sentences)
+		for attempts := 0; len(c.Sentences) < n && attempts < 8*deficit+64; attempts++ {
+			text, truth, ok := s.sentence()
+			if !ok {
+				continue
+			}
+			add(text, truth)
+		}
+	}
+	return c
+}
+
+// generateShard draws one shard's candidates: locally unique sentences
+// up to the base quota plus an overage that absorbs cross-shard
+// duplicate losses during the merge.
+func (g *generator) generateShard(s *sampler, quota int) shardOutput {
+	target := quota + quota/8 + 8
+	maxAttempts := target * 4
+	out := shardOutput{
+		texts:  make([]string, 0, target),
+		truths: make([]Truth, 0, target),
+	}
+	seen := make(map[string]struct{}, target)
+	for attempts := 0; len(out.texts) < target && attempts < maxAttempts; attempts++ {
+		text, truth, ok := s.sentence()
 		if !ok {
 			continue
 		}
@@ -356,82 +526,81 @@ func (g *generator) run() *Corpus {
 			continue // the paper deduplicates sentences; so do we
 		}
 		seen[text] = struct{}{}
-		id := len(c.Sentences)
-		c.Sentences = append(c.Sentences, Sentence{ID: id, Text: text})
-		c.truths = append(c.truths, truth)
+		out.texts = append(out.texts, text)
+		out.truths = append(out.truths, truth)
 	}
-	return c
+	return out
 }
 
 // sentence produces one sentence with its hidden truth.
-func (g *generator) sentence() (string, Truth, bool) {
-	concept := g.concepts[g.conceptZipf.Uint64()]
-	r := g.rng.Float64()
+func (s *sampler) sentence() (string, Truth, bool) {
+	concept := s.g.concepts[s.conceptZipf.Uint64()]
+	r := s.rng.Float64()
 	switch {
-	case r < g.cfg.FracMisparse:
-		return g.misparseSentence(concept)
-	case r < g.cfg.FracMisparse+g.cfg.FracModifier:
-		return g.modifierSentence(concept)
+	case r < s.g.cfg.FracMisparse:
+		return s.misparseSentence(concept)
+	case r < s.g.cfg.FracMisparse+s.g.cfg.FracModifier:
+		return s.modifierSentence(concept)
 	default:
-		return g.unambiguousSentence(concept)
+		return s.unambiguousSentence(concept)
 	}
 }
 
-func (g *generator) unambiguousSentence(c *world.Concept) (string, Truth, bool) {
-	insts := g.sampleHead(c, g.instanceCount())
+func (s *sampler) unambiguousSentence(c *world.Concept) (string, Truth, bool) {
+	insts := s.sampleHead(c, s.instanceCount())
 	if len(insts) == 0 {
 		return "", Truth{}, false
 	}
 	truth := Truth{Kind: Unambiguous, TrueConcept: c.Name}
-	insts = g.injectNoise(c, insts, &truth)
-	return g.render(c.Name, insts, true), truth, true
+	insts = s.injectNoise(c, insts, &truth)
+	return s.render(c.Name, insts, true), truth, true
 }
 
-func (g *generator) modifierSentence(c *world.Concept) (string, Truth, bool) {
-	ds := g.distractor[c.ID]
+func (s *sampler) modifierSentence(c *world.Concept) (string, Truth, bool) {
+	ds := s.g.distractor[c.ID]
 	if len(ds) == 0 {
-		return g.unambiguousSentence(c)
+		return s.unambiguousSentence(c)
 	}
 	// Prefer a bridge-sharing distractor when available.
-	d := g.w.Concepts[ds[g.rng.Intn(len(ds))]]
-	bridge := g.bridges[[2]int{c.ID, d.ID}]
+	d := s.g.w.Concepts[ds[s.rng.Intn(len(ds))]]
+	bridge := s.g.bridges[[2]int{c.ID, d.ID}]
 
-	n := g.instanceCount()
-	insts := g.sampleMixed(c, n)
+	n := s.instanceCount()
+	insts := s.sampleMixed(c, n)
 	if len(insts) == 0 {
 		return "", Truth{}, false
 	}
-	if len(bridge) > 0 && g.rng.Float64() < g.cfg.BridgeProb {
+	if len(bridge) > 0 && s.rng.Float64() < s.g.cfg.BridgeProb {
 		// Swap one instance for a polysemous bridge known only under the
 		// distractor — the S3 construction.
-		insts[g.rng.Intn(len(insts))] = bridge[g.rng.Intn(len(bridge))]
+		insts[s.rng.Intn(len(insts))] = bridge[s.rng.Intn(len(bridge))]
 		insts = dedupStrings(insts)
 	}
 	truth := Truth{Kind: Modifier, TrueConcept: c.Name}
-	insts = g.injectNoise(c, insts, &truth)
-	head := c.Name + " " + preposition(g.rng) + " " + d.Name
-	return g.render(head, insts, true), truth, true
+	insts = s.injectNoise(c, insts, &truth)
+	head := c.Name + " " + preposition(s.rng) + " " + d.Name
+	return s.render(head, insts, true), truth, true
 }
 
-func (g *generator) misparseSentence(c *world.Concept) (string, Truth, bool) {
+func (s *sampler) misparseSentence(c *world.Concept) (string, Truth, bool) {
 	// "C other_than S such as e..." where e ∈ C but e ∉ S, with S a
 	// sub-concept of C (the paper's "animals other than dogs such as
 	// cats"). The naive parser attaches to S, creating (e isA S)
 	// accidental errors. Instance lists are short: accidental mistakes
 	// carry weak evidence (Property 3). The hazard only exists for
 	// concepts with sub-concepts, so re-target the sentence to one.
-	if len(g.subOf[c.ID]) == 0 {
-		if len(g.parents) == 0 {
-			return g.unambiguousSentence(c)
+	if len(s.g.subOf[c.ID]) == 0 {
+		if len(s.g.parents) == 0 {
+			return s.unambiguousSentence(c)
 		}
-		c = g.parents[g.rng.Intn(len(g.parents))]
+		c = s.g.parents[s.rng.Intn(len(s.g.parents))]
 	}
-	subs := g.subOf[c.ID]
-	s := subs[g.rng.Intn(len(subs))]
-	insts := g.sampleUniform(c, 1+g.rng.Intn(2))
+	subs := s.g.subOf[c.ID]
+	sub := subs[s.rng.Intn(len(subs))]
+	insts := s.sampleUniform(c, 1+s.rng.Intn(2))
 	filtered := insts[:0]
 	for _, e := range insts {
-		if !s.Has(e) {
+		if !sub.Has(e) {
 			filtered = append(filtered, e)
 		}
 	}
@@ -439,29 +608,29 @@ func (g *generator) misparseSentence(c *world.Concept) (string, Truth, bool) {
 		return "", Truth{}, false
 	}
 	truth := Truth{Kind: Misparse, TrueConcept: c.Name}
-	head := c.Name + " other than " + s.Name
-	return g.render(head, filtered, false), truth, true
+	head := c.Name + " other than " + sub.Name
+	return s.render(head, filtered, false), truth, true
 }
 
 // injectNoise applies wrong-fact and typo noise, recording the wrong
 // instances in truth.
-func (g *generator) injectNoise(c *world.Concept, insts []string, truth *Truth) []string {
-	if g.rng.Float64() < g.cfg.WrongFactProb {
-		pool := g.domainPool[c.Domain]
+func (s *sampler) injectNoise(c *world.Concept, insts []string, truth *Truth) []string {
+	if s.rng.Float64() < s.g.cfg.WrongFactProb {
+		pool := s.g.domainPool[c.Domain]
 		for tries := 0; tries < 8; tries++ {
-			e := pool[g.rng.Intn(len(pool))]
+			e := pool[s.rng.Intn(len(pool))]
 			if !c.Has(e) && !containsStr(insts, e) {
-				insts[g.rng.Intn(len(insts))] = e
+				insts[s.rng.Intn(len(insts))] = e
 				truth.WrongInstances = append(truth.WrongInstances, e)
 				break
 			}
 		}
 	}
-	if g.rng.Float64() < g.cfg.TypoProb {
-		i := g.rng.Intn(len(insts))
+	if s.rng.Float64() < s.g.cfg.TypoProb {
+		i := s.rng.Intn(len(insts))
 		if !containsStr(truth.WrongInstances, insts[i]) {
-			typo := corrupt(g.rng, insts[i])
-			if !g.w.IsTrue(c.Name, typo) {
+			typo := corrupt(s.rng, insts[i])
+			if !s.g.w.IsTrue(c.Name, typo) {
 				insts[i] = typo
 				truth.WrongInstances = append(truth.WrongInstances, typo)
 			}
@@ -470,15 +639,15 @@ func (g *generator) injectNoise(c *world.Concept, insts []string, truth *Truth) 
 	return dedupStrings(insts)
 }
 
-func (g *generator) instanceCount() int {
-	span := g.cfg.InstancesMax - g.cfg.InstancesMin + 1
-	return g.cfg.InstancesMin + g.rng.Intn(span)
+func (s *sampler) instanceCount() int {
+	span := s.g.cfg.InstancesMax - s.g.cfg.InstancesMin + 1
+	return s.g.cfg.InstancesMin + s.rng.Intn(span)
 }
 
 // sampleHead draws n distinct head instances via the concept's Zipf sampler.
-func (g *generator) sampleHead(c *world.Concept, n int) []string {
-	head := g.heads[c.ID]
-	z := g.headZipf[c.ID]
+func (s *sampler) sampleHead(c *world.Concept, n int) []string {
+	head := s.g.heads[c.ID]
+	z := s.headSampler(c)
 	seen := map[string]struct{}{}
 	out := make([]string, 0, n)
 	for tries := 0; len(out) < n && tries < n*6; tries++ {
@@ -494,14 +663,14 @@ func (g *generator) sampleHead(c *world.Concept, n int) []string {
 
 // sampleUniform draws n distinct instances uniformly from the full
 // ground-truth list.
-func (g *generator) sampleUniform(c *world.Concept, n int) []string {
+func (s *sampler) sampleUniform(c *world.Concept, n int) []string {
 	if n > len(c.Instances) {
 		n = len(c.Instances)
 	}
 	seen := map[int]struct{}{}
 	out := make([]string, 0, n)
 	for tries := 0; len(out) < n && tries < n*6; tries++ {
-		i := g.rng.Intn(len(c.Instances))
+		i := s.rng.Intn(len(c.Instances))
 		if _, dup := seen[i]; dup {
 			continue
 		}
@@ -515,16 +684,16 @@ func (g *generator) sampleUniform(c *world.Concept, n int) []string {
 // with probability TailBias and from its head otherwise. Tail-heavy
 // ambiguous sentences are the ones the true concept cannot vouch for —
 // the drift-prone regime.
-func (g *generator) sampleMixed(c *world.Concept, n int) []string {
-	head, tail := g.heads[c.ID], g.tails[c.ID]
+func (s *sampler) sampleMixed(c *world.Concept, n int) []string {
+	head, tail := s.g.heads[c.ID], s.g.tails[c.ID]
 	seen := map[string]struct{}{}
 	out := make([]string, 0, n)
 	for tries := 0; len(out) < n && tries < n*8; tries++ {
 		var e string
-		if len(tail) > 0 && (len(head) == 0 || g.rng.Float64() < g.cfg.TailBias) {
-			e = tail[g.rng.Intn(len(tail))]
+		if len(tail) > 0 && (len(head) == 0 || s.rng.Float64() < s.g.cfg.TailBias) {
+			e = tail[s.rng.Intn(len(tail))]
 		} else {
-			e = head[g.rng.Intn(len(head))]
+			e = head[s.rng.Intn(len(head))]
 		}
 		if _, dup := seen[e]; dup {
 			continue
@@ -538,10 +707,10 @@ func (g *generator) sampleMixed(c *world.Concept, n int) []string {
 // render writes the sentence in one of the Hearst pattern variants.
 // allowAlt=false pins the "such as" form (used by the mis-parse hazard,
 // whose "other than" flaw is such-as specific).
-func (g *generator) render(head string, insts []string, allowAlt bool) string {
+func (s *sampler) render(head string, insts []string, allowAlt bool) string {
 	pattern := "such as"
 	if allowAlt {
-		pattern = g.pickPattern()
+		pattern = s.pickPattern()
 	}
 	var b strings.Builder
 	writeList := func() {
@@ -563,17 +732,17 @@ func (g *generator) render(head string, insts []string, allowAlt bool) string {
 		b.WriteString(" and other ")
 		b.WriteString(head)
 	case "especially":
-		b.WriteString(leadIn(g.rng))
+		b.WriteString(leadIn(s.rng))
 		b.WriteString(head)
 		b.WriteString(" , especially ")
 		writeList()
 	case "including":
-		b.WriteString(leadIn(g.rng))
+		b.WriteString(leadIn(s.rng))
 		b.WriteString(head)
 		b.WriteString(" including ")
 		writeList()
 	default:
-		b.WriteString(leadIn(g.rng))
+		b.WriteString(leadIn(s.rng))
 		b.WriteString(head)
 		b.WriteString(" such as ")
 		writeList()
@@ -582,9 +751,9 @@ func (g *generator) render(head string, insts []string, allowAlt bool) string {
 	return b.String()
 }
 
-func (g *generator) pickPattern() string {
-	m := g.cfg.Patterns
-	r := g.rng.Float64() * m.total()
+func (s *sampler) pickPattern() string {
+	m := s.g.cfg.Patterns
+	r := s.rng.Float64() * m.total()
 	switch {
 	case r < m.SuchAs:
 		return "such as"

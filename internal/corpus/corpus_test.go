@@ -211,3 +211,53 @@ func TestZeroConfigDefaults(t *testing.T) {
 		t.Fatalf("got %d sentences", c.Len())
 	}
 }
+
+// TestGenerateParallelismInvariant pins the sharding contract: the
+// corpus — shard plan, shard streams and merged order — depends only on
+// the configuration, never on how many workers generate it. 70000
+// sentences spans multiple shards, so the cross-shard merge, dedup and
+// top-up paths are all on the line.
+func TestGenerateParallelismInvariant(t *testing.T) {
+	w := testWorld()
+	cfg := DefaultConfig()
+	cfg.NumSentences = 70000
+
+	cfg.Parallelism = 1
+	serial := Generate(w, cfg)
+	cfg.Parallelism = 8
+	parallel := Generate(w, cfg)
+
+	if serial.Len() != cfg.NumSentences || parallel.Len() != cfg.NumSentences {
+		t.Fatalf("sizes: serial=%d parallel=%d, want exactly %d",
+			serial.Len(), parallel.Len(), cfg.NumSentences)
+	}
+	for i := range serial.Sentences {
+		if serial.Sentences[i] != parallel.Sentences[i] {
+			t.Fatalf("sentence %d differs: %q vs %q",
+				i, serial.Sentences[i].Text, parallel.Sentences[i].Text)
+		}
+	}
+	for i := range serial.truths {
+		st, pt := serial.truths[i], parallel.truths[i]
+		if st.Kind != pt.Kind || st.TrueConcept != pt.TrueConcept ||
+			len(st.WrongInstances) != len(pt.WrongInstances) {
+			t.Fatalf("truth %d differs: %+v vs %+v", i, st, pt)
+		}
+	}
+}
+
+// TestGenerateSingleShardMatchesLegacyStream documents that corpora
+// fitting in one shard continue the base setup stream: a corpus of size
+// n is a strict prefix of a slightly larger one, which is what keeps
+// pre-sharding seeds reproducible.
+func TestGenerateSingleShardMatchesLegacyStream(t *testing.T) {
+	w := testWorld()
+	small := smallCorpus(w, 1500)
+	big := smallCorpus(w, 2000)
+	for i := range small.Sentences {
+		if small.Sentences[i].Text != big.Sentences[i].Text {
+			t.Fatalf("sentence %d not a stable prefix: %q vs %q",
+				i, small.Sentences[i].Text, big.Sentences[i].Text)
+		}
+	}
+}

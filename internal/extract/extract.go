@@ -15,12 +15,20 @@
 // polysemous bridge ("chicken") or an earlier erroneous pair is the only
 // known instance in a sentence, the wrong candidate wins and the wrong
 // pairs are learned, which lets them trigger further wrong resolutions.
+//
+// Both hot paths are data-parallel and deterministic: the one-time Hearst
+// parse is pure per sentence, and the per-iteration disambiguation scan
+// reads a KB frozen at the start of the iteration. Each fans out across
+// Config.Parallelism workers writing into sentence-ordered slots, so the
+// merged output — and therefore the KB — is byte-identical to a serial
+// run regardless of worker count.
 package extract
 
 import (
 	"driftclean/internal/corpus"
 	"driftclean/internal/hearst"
 	"driftclean/internal/kb"
+	"driftclean/internal/par"
 )
 
 // Config controls the extraction loop.
@@ -28,10 +36,17 @@ type Config struct {
 	// MaxIterations bounds the number of semantic iterations (the paper
 	// ran ~100; 99.999% of pairs arrived within 10).
 	MaxIterations int
+	// Parallelism is the worker count for the parse phase and the
+	// per-iteration disambiguation scan. 1 forces the serial path; values
+	// below 1 use every CPU. The result is identical at any setting.
+	Parallelism int
 }
 
 // DefaultConfig returns the standard extraction configuration.
 func DefaultConfig() Config { return Config{MaxIterations: 50} }
+
+// workers resolves the configured parallelism to a worker count.
+func (c Config) workers() int { return par.Workers(c.Parallelism) }
 
 // IterStats records the state after one iteration (Fig 5a's x-axis).
 type IterStats struct {
@@ -51,22 +66,74 @@ type Result struct {
 	Unresolved  int
 }
 
+// parsedSentence is the slot one sentence's parse outcome lands in.
+type parsedSentence struct {
+	parse hearst.Parse
+	ok    bool
+}
+
+// parseAll parses every sentence into sentence-ordered slots, fanning
+// across the given worker count. hearst.ParseSentence is pure, so any
+// schedule produces the same slots.
+func parseAll(sentences []corpus.Sentence, workers int) []parsedSentence {
+	out := make([]parsedSentence, len(sentences))
+	par.For(len(sentences), workers, func(i int) {
+		out[i].parse, out[i].ok = hearst.ParseSentence(sentences[i].ID, sentences[i].Text)
+	})
+	return out
+}
+
+// resolution is one disambiguated pending sentence.
+type resolution struct {
+	parse    hearst.Parse
+	concept  string
+	triggers []string
+}
+
+// resolvePending scans the pending pool against a frozen KB and returns
+// the resolutions (in pending order) and the still-ambiguous remainder.
+// Each slot depends only on the frozen KB and its own parse, so the scan
+// is embarrassingly parallel; collecting into index-ordered slots keeps
+// the apply order — and therefore the KB — identical to a serial scan.
+func resolvePending(k *kb.KB, pending []hearst.Parse, workers int) (resolved []resolution, still []hearst.Parse) {
+	slots := make([]resolution, len(pending))
+	hits := make([]bool, len(pending))
+	par.For(len(pending), workers, func(i int) {
+		concept, triggers, ok := disambiguate(k, pending[i])
+		if !ok {
+			return
+		}
+		slots[i] = resolution{pending[i], concept, triggers}
+		hits[i] = true
+	})
+	for i := range slots {
+		if hits[i] {
+			resolved = append(resolved, slots[i])
+		} else {
+			still = append(still, pending[i])
+		}
+	}
+	return resolved, still
+}
+
 // Run performs the full iterative extraction over a corpus.
 func Run(c *corpus.Corpus, cfg Config) *Result {
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = DefaultConfig().MaxIterations
 	}
+	workers := cfg.workers()
 	res := &Result{KB: kb.New()}
 
-	// Parse everything once.
+	// Parse everything once (parallel), then merge in sentence order.
+	parsed := parseAll(c.Sentences, workers)
 	var pending []hearst.Parse
 	newInIter := 0
-	for _, s := range c.Sentences {
-		p, ok := hearst.ParseSentence(s.ID, s.Text)
-		if !ok {
+	for i := range parsed {
+		if !parsed[i].ok {
 			res.Unparseable++
 			continue
 		}
+		p := parsed[i].parse
 		if p.Ambiguous() {
 			pending = append(pending, p)
 			continue
@@ -86,21 +153,7 @@ func Run(c *corpus.Corpus, cfg Config) *Result {
 	// at the start of each iteration, then apply all resolutions at once
 	// (new knowledge only helps "in the next iteration", Sec 1).
 	for iter := 2; iter <= cfg.MaxIterations && len(pending) > 0; iter++ {
-		type resolution struct {
-			parse    hearst.Parse
-			concept  string
-			triggers []string
-		}
-		var resolved []resolution
-		var still []hearst.Parse
-		for _, p := range pending {
-			concept, triggers, ok := disambiguate(res.KB, p)
-			if !ok {
-				still = append(still, p)
-				continue
-			}
-			resolved = append(resolved, resolution{p, concept, triggers})
-		}
+		resolved, still := resolvePending(res.KB, pending, workers)
 		if len(resolved) == 0 {
 			break
 		}

@@ -44,15 +44,18 @@ func (x *Extractor) PerIteration() []IterStats { return x.perIter }
 
 // Add parses and ingests a batch of sentences: unambiguous parses are
 // extracted immediately as core evidence; ambiguous parses join the
-// pending pool. It returns the number of core extractions made.
+// pending pool. It returns the number of core extractions made. The
+// parse fans out across Config.Parallelism workers; the merge runs in
+// sentence order, so the KB is independent of the worker count.
 func (x *Extractor) Add(sentences []corpus.Sentence) int {
 	core := 0
-	for _, s := range sentences {
-		p, ok := hearst.ParseSentence(s.ID, s.Text)
-		if !ok {
+	parsed := parseAll(sentences, x.cfg.workers())
+	for i := range parsed {
+		if !parsed[i].ok {
 			x.unparseable++
 			continue
 		}
+		p := parsed[i].parse
 		if p.Ambiguous() {
 			x.pending = append(x.pending, p)
 			continue
@@ -76,21 +79,7 @@ func (x *Extractor) Extend() int {
 	resolvedTotal := 0
 	for iter := 0; iter < x.cfg.MaxIterations && len(x.pending) > 0; iter++ {
 		x.iteration++
-		type resolution struct {
-			parse    hearst.Parse
-			concept  string
-			triggers []string
-		}
-		var resolved []resolution
-		var still []hearst.Parse
-		for _, p := range x.pending {
-			concept, triggers, ok := disambiguate(x.kb, p)
-			if !ok {
-				still = append(still, p)
-				continue
-			}
-			resolved = append(resolved, resolution{p, concept, triggers})
-		}
+		resolved, still := resolvePending(x.kb, x.pending, x.cfg.workers())
 		if len(resolved) == 0 {
 			break
 		}

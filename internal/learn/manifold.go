@@ -69,11 +69,11 @@ func buildManifoldMatrix(t *Task, cfg ManifoldConfig) *linalg.Matrix {
 	return linalg.Scale(1/float64(n), a)
 }
 
-// manifoldSubset returns t unchanged when it fits under max points, and
-// otherwise a view keeping every labeled instance plus a deterministic
-// stride sample of the unlabeled ones.
-func manifoldSubset(t *Task, max int) *Task {
-	if max <= 0 || len(t.Instances) <= max {
+// manifoldSubset returns t unchanged when it fits under limit points,
+// and otherwise a view keeping every labeled instance plus a
+// deterministic stride sample of the unlabeled ones.
+func manifoldSubset(t *Task, limit int) *Task {
+	if limit <= 0 || len(t.Instances) <= limit {
 		return t
 	}
 	sub := &Task{Concept: t.Concept}
@@ -85,7 +85,7 @@ func manifoldSubset(t *Task, max int) *Task {
 			unlabeled = append(unlabeled, in)
 		}
 	}
-	room := max - len(sub.Instances)
+	room := limit - len(sub.Instances)
 	if room <= 0 {
 		return sub
 	}

@@ -17,6 +17,8 @@
 //	errchecklite— no silently discarded error returns in non-test code.
 //	ctxfirst    — context.Context parameters come first.
 //	exporteddoc — exported declarations carry doc comments.
+//	noshadowbuiltin — no declarations that shadow predeclared
+//	              identifiers (len, cap, min, max, new, ...).
 //
 // Analyzers run over packages loaded and type-checked once by the shared
 // Loader. Diagnostics render as "file:line:col: message [analyzer]" and
@@ -97,6 +99,7 @@ func All() []*Analyzer {
 		ErrcheckLite,
 		CtxFirst,
 		ExportedDoc,
+		NoShadowBuiltin,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

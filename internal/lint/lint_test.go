@@ -131,6 +131,9 @@ func TestNoCopyLock(t *testing.T)   { checkFixture(t, "nocopylock", "nocopylock"
 func TestErrcheckLite(t *testing.T) { checkFixture(t, "errchecklite", "errchecklite") }
 func TestCtxFirst(t *testing.T)     { checkFixture(t, "ctxfirst", "ctxfirst") }
 func TestExportedDoc(t *testing.T)  { checkFixture(t, "exporteddoc", "exporteddoc") }
+func TestNoShadowBuiltin(t *testing.T) {
+	checkFixture(t, "noshadowbuiltin", "noshadowbuiltin")
+}
 
 // TestCleanPackage runs the full suite over the clean fixture: a file
 // full of near-misses that must produce zero findings.

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// NoShadowBuiltin flags declarations — variables, constants, parameters,
+// named results, type names and function names — that reuse the name of
+// a predeclared Go identifier (len, cap, min, max, new, copy, ...).
+// Inside the shadowing scope the builtin silently stops being callable,
+// and the resulting errors read like nonsense at a distance ("cannot
+// call non-function cap"); `cap := cfg.KPCAFitCap` in core.go hid
+// exactly that trap. Struct fields and methods are exempt: selector
+// syntax keeps them from ever capturing a builtin reference.
+var NoShadowBuiltin = &Analyzer{
+	Name: "noshadowbuiltin",
+	Doc:  "forbid declarations that shadow predeclared identifiers (len, cap, min, max, ...)",
+	Run:  runNoShadowBuiltin,
+}
+
+func runNoShadowBuiltin(p *Pass) {
+	for ident, obj := range p.Info.Defs {
+		if obj == nil || ident.Name == "_" {
+			continue // the package clause and blank identifiers define nothing
+		}
+		if types.Universe.Lookup(ident.Name) == nil {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Var:
+			if o.IsField() {
+				continue // fields are reached by selector, never bare
+			}
+		case *types.Func:
+			if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+				continue // methods likewise
+			}
+		case *types.Label:
+			continue // labels live in their own namespace
+		}
+		p.Reportf(ident.Pos(), "%q shadows the predeclared identifier; rename it so the builtin stays callable", ident.Name)
+	}
+}

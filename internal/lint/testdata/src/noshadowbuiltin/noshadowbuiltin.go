@@ -1,0 +1,51 @@
+// Package fixture exercises the noshadowbuiltin analyzer: declarations
+// reusing predeclared names are findings; struct fields, methods and
+// ordinary names are not.
+package fixture
+
+func locals(points []int) int {
+	cap := len(points) // want `"cap" shadows the predeclared identifier`
+	var min int        // want `"min" shadows the predeclared identifier`
+	for _, p := range points {
+		if p < min {
+			min = p
+		}
+	}
+	return cap + min
+}
+
+func params(len int) int { // want `"len" shadows the predeclared identifier`
+	return len
+}
+
+func results() (new int) { // want `"new" shadows the predeclared identifier`
+	return 0
+}
+
+type max struct { // want `"max" shadows the predeclared identifier`
+	// Fields named after builtins are reached by selector and stay
+	// harmless.
+	cap int
+	len int
+}
+
+// Methods likewise never capture a builtin reference.
+func (m max) copy() int { return m.cap + m.len }
+
+const iota = 3 // want `"iota" shadows the predeclared identifier`
+
+func clean(limit int, xs []string) []string {
+	out := make([]string, 0, limit)
+	for _, x := range xs {
+		if len(out) < cap(out) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func suppressed() int {
+	//lint:ignore noshadowbuiltin fixture demonstrates sanctioned shadowing
+	println := 4
+	return println
+}

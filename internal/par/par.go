@@ -1,0 +1,116 @@
+// Package par provides the deterministic fork-join primitive the
+// pipeline's hot paths share: a bounded worker pool that processes a
+// fixed index space in chunks and writes results into caller-owned,
+// index-addressed slots. Because every unit of work is keyed by its
+// index — never by arrival order — the output of a parallel run is
+// byte-identical to the serial run regardless of worker count or
+// scheduling, which is the contract determinism_test.go enforces on the
+// whole pipeline.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunkSize is the number of consecutive indices a worker claims per
+// atomic fetch. Chunking keeps the claim counter off the hot path for
+// cheap per-item work (a Hearst parse is ~1µs) while staying small
+// enough to load-balance skewed work such as per-concept random walks.
+const chunkSize = 64
+
+// Workers normalizes a parallelism knob: values below 1 mean "use every
+// CPU" (runtime.NumCPU), 1 selects the serial path, higher values are
+// used as given.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) using the given number of
+// workers. With workers <= 1 (or a trivially small n) it degrades to a
+// plain loop on the calling goroutine — the serial A/B path. fn must be
+// safe to call concurrently and must not assume any ordering between
+// indices; determinism comes from writing results into per-index slots.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(chunkSize)) - chunkSize
+				if start >= n {
+					return
+				}
+				end := start + chunkSize
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunked is For with an explicit chunk size, for workloads whose
+// per-item cost is so uneven (e.g. one shard per chunk) that the caller
+// wants to pin the claim granularity.
+func ForChunked(n, workers, chunk int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

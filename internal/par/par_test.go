@@ -1,0 +1,79 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU (%d)", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU (%d)", got, runtime.NumCPU())
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+// TestForCoversEveryIndexOnce is the core contract: every index in
+// [0, n) is visited exactly once, at any worker count, including sizes
+// that don't divide evenly into chunks.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, chunkSize - 1, chunkSize, chunkSize + 1, 1000} {
+		for _, workers := range []int{1, 2, 8, 200} {
+			counts := make([]atomic.Int32, n)
+			For(n, workers, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversEveryIndexOnce(t *testing.T) {
+	for _, chunk := range []int{-1, 1, 3, 64} {
+		counts := make([]atomic.Int32, 500)
+		ForChunked(len(counts), 4, chunk, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("chunk=%d: index %d visited %d times", chunk, i, c)
+			}
+		}
+	}
+}
+
+// TestForSerialPathRunsInOrder pins the workers<=1 degradation to a
+// plain in-order loop on the calling goroutine — the A/B baseline the
+// determinism tests compare against.
+func TestForSerialPathRunsInOrder(t *testing.T) {
+	var order []int
+	For(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path visited %v, want ascending order", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("serial path visited %d indices, want 10", len(order))
+	}
+}
+
+// TestForSlotWrites exercises the intended usage pattern — concurrent
+// writers into disjoint index-addressed slots — under the race detector.
+func TestForSlotWrites(t *testing.T) {
+	slots := make([]int, 10_000)
+	For(len(slots), 8, func(i int) { slots[i] = i * i })
+	for i, v := range slots {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}

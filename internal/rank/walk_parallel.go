@@ -1,0 +1,27 @@
+package rank
+
+import (
+	"driftclean/internal/kb"
+	"driftclean/internal/par"
+)
+
+// WalkConcepts computes Random-Walk-with-Restart scores for every given
+// concept, fanning the per-concept graph builds and power iterations
+// across the given worker count. Each concept's walk reads only the KB
+// (which must not be mutated concurrently) and writes into its own map
+// slot, so the result is identical to calling BuildGraph + RandomWalk
+// serially, in any order — per-concept scoring is the scalable unit of
+// work in this pipeline, exactly as in SetExpan-style bootstrappers.
+func WalkConcepts(k *kb.KB, concepts []string, cfg Config, workers int) map[string]Scores {
+	slots := make([]Scores, len(concepts))
+	// One concept per claim: graph sizes are heavily skewed (the drifted
+	// concepts are the big ones), so fine-grained claiming load-balances.
+	par.ForChunked(len(concepts), workers, 1, func(i int) {
+		slots[i] = RandomWalk(BuildGraph(k, concepts[i]), cfg)
+	})
+	out := make(map[string]Scores, len(concepts))
+	for i, c := range concepts {
+		out[c] = slots[i]
+	}
+	return out
+}

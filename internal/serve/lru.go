@@ -17,10 +17,10 @@ type lruEntry struct {
 	val any
 }
 
-// newLRU returns a cache bounded to max entries; max <= 0 disables
+// newLRU returns a cache bounded to limit entries; limit <= 0 disables
 // caching entirely (every Get misses, every Add is a no-op).
-func newLRU(max int) *lruCache {
-	return &lruCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+func newLRU(limit int) *lruCache {
+	return &lruCache{max: limit, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
 // get returns the cached value and whether it was present, promoting the

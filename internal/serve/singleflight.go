@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -42,11 +43,33 @@ func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-	c.wg.Done()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
+	// The key must be released no matter how fn exits: before these
+	// defers, a panicking loader left the key claimed forever (every
+	// later caller coalesced onto a call that would never complete) and
+	// left already-parked followers blocked on a WaitGroup nobody would
+	// ever Done.
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	completed := false
+	var panicVal any
+	func() {
+		defer func() {
+			if !completed {
+				panicVal = recover()
+				c.err = fmt.Errorf("serve: singleflight leader panicked: %v", panicVal)
+			}
+			c.wg.Done()
+		}()
+		c.val, c.err = fn()
+		completed = true
+	}()
+	if !completed {
+		// Followers got the error above; the leader re-panics so its own
+		// call stack observes the original failure.
+		panic(panicVal)
+	}
 	return c.val, c.err, false
 }

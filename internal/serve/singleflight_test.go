@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	var calls int
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]any, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := g.do("k", func() (any, error) {
+			calls++
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("leader err = %v", err)
+		}
+		results[0] = v
+	}()
+	<-started
+
+	c := func() *flightCall {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.m["k"]
+	}()
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.do("k", func() (any, error) {
+				t.Error("follower executed fn")
+				return nil, nil
+			})
+			if err != nil || !shared {
+				t.Errorf("follower %d: err=%v shared=%v", i, err, shared)
+			}
+			results[i] = v
+		}(i)
+	}
+	waitFor(t, func() bool { return c.waiters.Load() == 2 })
+	close(release)
+	wg.Wait()
+
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("results[%d] = %v, want 42", i, v)
+		}
+	}
+}
+
+// TestFlightGroupLeaderPanic is the regression test for the panic leak:
+// before do released its state with defers, a panicking loader left the
+// key claimed forever — parked followers never woke, and every later
+// call for the key coalesced onto the dead flight. The old code fails
+// this test by deadlocking on the parked follower.
+func TestFlightGroupLeaderPanic(t *testing.T) {
+	g := newFlightGroup()
+	boom := make(chan struct{})
+	started := make(chan struct{})
+
+	// Leader: panics mid-flight; the panic must propagate to its caller.
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		g.do("k", func() (any, error) {
+			close(started)
+			<-boom
+			panic("loader exploded")
+		})
+		t.Error("leader returned normally from a panicking loader")
+	}()
+	<-started
+
+	// Follower: parked on the in-flight call before the panic fires.
+	c := func() *flightCall {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.m["k"]
+	}()
+	followerErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do("k", func() (any, error) {
+			t.Error("parked follower executed fn after leader panic")
+			return nil, nil
+		})
+		followerErr <- err
+	}()
+	waitFor(t, func() bool { return c.waiters.Load() == 1 })
+
+	close(boom)
+	if r := <-leaderDone; r != "loader exploded" {
+		t.Errorf("leader recovered %v, want the original panic value", r)
+	}
+	select {
+	case err := <-followerErr:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("follower err = %v, want a panic-surfacing error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower still parked after leader panic (the old leak)")
+	}
+
+	// The key must be free again: a fresh call runs its own fn.
+	v, err, shared := g.do("k", func() (any, error) { return "fresh", nil })
+	if v != "fresh" || err != nil || shared {
+		t.Errorf("post-panic call = (%v, %v, %v), want a fresh execution", v, err, shared)
+	}
+}
+
+func TestFlightGroupErrorPropagates(t *testing.T) {
+	g := newFlightGroup()
+	want := errors.New("load failed")
+	_, err, _ := g.do("k", func() (any, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+	if _, err, _ := g.do("k", func() (any, error) { return 1, nil }); err != nil {
+		t.Errorf("key not released after error: %v", err)
+	}
+}
+
+// waitFor polls until cond holds, failing the test after a timeout.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

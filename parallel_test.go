@@ -1,0 +1,76 @@
+package driftclean
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"driftclean/internal/bench"
+)
+
+// TestPipelineParallelMatchesSerial is the end-to-end determinism gate
+// for the parallel execution layer, run under -race in CI: the full
+// pipeline with Parallelism ≥ 4 must produce byte-identical results to
+// the forced-serial path — same corpus, same extraction trajectory, same
+// cleaned KB, same report.
+func TestPipelineParallelMatchesSerial(t *testing.T) {
+	run := func(parallelism int) *Report {
+		cfg := DefaultConfig()
+		cfg.Corpus.NumSentences = 8000
+		cfg.Clean.MaxRounds = 2
+		cfg.Parallelism = parallelism
+		rep, err := CleanContext(context.Background(), WithConfig(cfg))
+		if err != nil && !errors.Is(err, ErrNoDPsDetected) {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		return rep
+	}
+
+	serial := run(1)
+	parallel := run(4)
+
+	sc, pc := serial.System.Corpus, parallel.System.Corpus
+	if sc.Len() != pc.Len() {
+		t.Fatalf("corpus sizes differ: %d vs %d", sc.Len(), pc.Len())
+	}
+	for i := range sc.Sentences {
+		if sc.Sentences[i] != pc.Sentences[i] {
+			t.Fatalf("corpus diverges at sentence %d:\n  serial:   %q\n  parallel: %q",
+				i, sc.Sentences[i].Text, pc.Sentences[i].Text)
+		}
+	}
+
+	se, pe := serial.System.Extraction, parallel.System.Extraction
+	if se.Iterations != pe.Iterations || se.Unparseable != pe.Unparseable || se.Unresolved != pe.Unresolved {
+		t.Errorf("extraction trajectories differ: serial=%+v parallel=%+v",
+			se.PerIteration, pe.PerIteration)
+	}
+	for i := range se.PerIteration {
+		if se.PerIteration[i] != pe.PerIteration[i] {
+			t.Errorf("iteration %d stats differ: %+v vs %+v",
+				i, se.PerIteration[i], pe.PerIteration[i])
+		}
+	}
+
+	if sf, pf := bench.Fingerprint(serial.System.KB), bench.Fingerprint(parallel.System.KB); sf != pf {
+		t.Errorf("cleaned KBs differ: fingerprint %s vs %s", sf, pf)
+	}
+	if serial.PairsBefore != parallel.PairsBefore || serial.PairsAfter != parallel.PairsAfter ||
+		serial.Rounds != parallel.Rounds || serial.Converged != parallel.Converged {
+		t.Errorf("reports differ:\n  serial:   %+v\n  parallel: %+v", summary(serial), summary(parallel))
+	}
+	//lint:ignore floateq exact equality is the point: serial and parallel runs share every bit
+	if serial.PrecisionBefore != parallel.PrecisionBefore || serial.PrecisionAfter != parallel.PrecisionAfter {
+		t.Errorf("precision differs: serial %v->%v, parallel %v->%v",
+			serial.PrecisionBefore, serial.PrecisionAfter, parallel.PrecisionBefore, parallel.PrecisionAfter)
+	}
+}
+
+type reportSummary struct {
+	pairsBefore, pairsAfter, rounds int
+	converged                       bool
+}
+
+func summary(r *Report) reportSummary {
+	return reportSummary{r.PairsBefore, r.PairsAfter, r.Rounds, r.Converged}
+}

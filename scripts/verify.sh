@@ -31,7 +31,13 @@ echo "==> go test -race (serving: snapshot swap under concurrent readers)"
 go test -race -run 'TestSwapUnderConcurrentReaders|TestConcurrentReads|TestCoalescing' \
   ./internal/snapshot ./internal/serve
 
+echo "==> go test -race (parallel pipeline determinism, workers >= 4)"
+go test -race -run 'TestPipelineParallelMatchesSerial' .
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> driftbench smoke (serial vs parallel A/B, writes BENCH_pipeline.json)"
+go run ./cmd/driftbench -smoke -out BENCH_pipeline.json
 
 echo "verify: all gates passed"
