@@ -57,7 +57,32 @@ var (
 	// underlying context error, so errors.Is(err, context.Canceled)
 	// also matches when applicable.
 	ErrCanceled = errors.New("driftclean: run canceled")
+	// ErrStagePanic reports that a pipeline stage panicked. The panic is
+	// recovered at the API boundary — a stage failure must surface as an
+	// error, never crash the process — and the returned error names the
+	// stage and wraps the panic value when it was itself an error (so a
+	// fault-injected panic still matches its own sentinel via errors.Is).
+	ErrStagePanic = errors.New("driftclean: pipeline stage panicked")
 )
+
+// runStage executes one pipeline phase, converting a panic — whether
+// raised on the calling goroutine or re-thrown by internal/par from a
+// worker — into an ErrStagePanic-wrapped error.
+func runStage(stage string, fn func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if e, ok := r.(error); ok {
+			err = fmt.Errorf("%w: %s: %w", ErrStagePanic, stage, e)
+			return
+		}
+		err = fmt.Errorf("%w: %s: %v", ErrStagePanic, stage, r)
+	}()
+	fn()
+	return nil
+}
 
 // Phase identifies a stage of a cleaning run, reported through
 // WithProgress.
@@ -210,7 +235,10 @@ func CleanWithContext(ctx context.Context, method DetectorKind, opts ...Option) 
 	}
 
 	o.emit(PhaseBuild, 0)
-	sys := core.Build(cfg)
+	var sys *System
+	if err := runStage("build", func() { sys = core.Build(cfg) }); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, canceledErr(err)
 	}
@@ -219,25 +247,35 @@ func CleanWithContext(ctx context.Context, method DetectorKind, opts ...Option) 
 		PrecisionBefore: sys.Oracle.KBPrecision(sys.KB, nil),
 		PairsBefore:     sys.KB.NumPairs(),
 	}
-	cr, err := sys.CleanDPs(method)
-	if err != nil {
-		return nil, fmt.Errorf("driftclean: cleaning failed: %w", err)
+	var cr *CleanResult
+	var cleanErr error
+	if err := runStage("clean", func() { cr, cleanErr = sys.CleanDPs(method) }); err != nil {
+		// The partial report (system + before-cleaning metrics) rides
+		// along with the error so callers can inspect how far the run got.
+		return rep, err
+	}
+	if cleanErr != nil {
+		return rep, fmt.Errorf("driftclean: cleaning failed: %w", cleanErr)
 	}
 	if cr.Clean.Stopped {
 		return nil, canceledErr(ctx.Err())
 	}
 
 	o.emit(PhaseEvaluate, 0)
-	rep.PrecisionAfter = sys.Oracle.KBPrecision(sys.KB, nil)
-	rep.PairsAfter = sys.KB.NumPairs()
-	rep.Rounds = len(cr.Clean.Rounds)
-	rep.Converged = cr.Clean.Converged
-	var per []eval.CleaningMetrics
-	for concept, before := range cr.BeforeInstances {
-		per = append(per, sys.Oracle.Cleaning(concept, before, sys.KB))
+	if err := runStage("evaluate", func() {
+		rep.PrecisionAfter = sys.Oracle.KBPrecision(sys.KB, nil)
+		rep.PairsAfter = sys.KB.NumPairs()
+		rep.Rounds = len(cr.Clean.Rounds)
+		rep.Converged = cr.Clean.Converged
+		var per []eval.CleaningMetrics
+		for concept, before := range cr.BeforeInstances {
+			per = append(per, sys.Oracle.Cleaning(concept, before, sys.KB))
+		}
+		m := eval.MergeCleaning(per)
+		rep.PError, rep.RError, rep.PCorr, rep.RCorr = m.PError, m.RError, m.PCorr, m.RCorr
+	}); err != nil {
+		return rep, err
 	}
-	m := eval.MergeCleaning(per)
-	rep.PError, rep.RError, rep.PCorr, rep.RCorr = m.PError, m.RError, m.PCorr, m.RCorr
 	totalDPs := 0
 	for _, rr := range cr.Clean.Rounds {
 		totalDPs += rr.AccidentalDPs + rr.IntentionalDPs

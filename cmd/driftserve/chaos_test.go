@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"driftclean/internal/fault"
+	"driftclean/internal/serve"
+	"driftclean/internal/snapshot"
+)
+
+// postReload issues POST /v1/reload and returns status and body.
+func postReload(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, sb.String()
+}
+
+// TestReloadFaultKeepsServingLastGood: an injected reload failure must
+// leave the server answering queries from the last-good snapshot with
+// the stale header set, and a later successful reload must recover.
+func TestReloadFaultKeepsServingLastGood(t *testing.T) {
+	path := writeTestKB(t, t.TempDir(), 0)
+	snap, err := freezeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.New(snap, serve.Options{})
+	// Three injected failures: with MaxAttempts 1 the first three Reload
+	// calls fail outright, the fourth succeeds.
+	inj := fault.New(11, map[string]fault.Rule{"serve.reload": {FailFirst: 3}})
+	rl := serve.NewReloader(svc, func() (*snapshot.Snapshot, error) {
+		return freezeFile(path)
+	}, serve.ReloadConfig{MaxAttempts: 1, BreakerThreshold: 100, Fault: inj,
+		Sleep: func(time.Duration) {}})
+	ts := newTestServer(t, handlerConfig{svc: svc, reload: rl.Reload}, path)
+
+	status, body := postReload(t, ts.URL)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("faulted reload: status %d body %s", status, body)
+	}
+	// Queries still answer from the last-good snapshot, flagged stale.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats during stale window: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Driftclean-Stale"); got != "true" {
+		t.Fatalf("X-Driftclean-Stale = %q, want \"true\"", got)
+	}
+
+	// Two more failures, then recovery clears the stale marker.
+	postReload(t, ts.URL)
+	postReload(t, ts.URL)
+	if status, body := postReload(t, ts.URL); status != http.StatusOK {
+		t.Fatalf("recovery reload: status %d body %s", status, body)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Driftclean-Stale"); got != "" {
+		t.Fatalf("stale header still set after recovery: %q", got)
+	}
+}
+
+// TestReloadBreakerShedsWith503: once the breaker opens, POST /v1/reload
+// is shed with 503 and the query surface keeps working.
+func TestReloadBreakerShedsWith503(t *testing.T) {
+	path := writeTestKB(t, t.TempDir(), 0)
+	snap, err := freezeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.New(snap, serve.Options{})
+	loadErr := errors.New("kb file corrupted")
+	rl := serve.NewReloader(svc, func() (*snapshot.Snapshot, error) {
+		return nil, loadErr
+	}, serve.ReloadConfig{MaxAttempts: 1, BreakerThreshold: 2,
+		BreakerCooldown: time.Hour, Sleep: func(time.Duration) {}})
+	ts := newTestServer(t, handlerConfig{svc: svc, reload: rl.Reload}, path)
+
+	for i := 0; i < 2; i++ {
+		if status, _ := postReload(t, ts.URL); status != http.StatusInternalServerError {
+			t.Fatalf("failing reload %d: status %d", i, status)
+		}
+	}
+	status, body := postReload(t, ts.URL)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker reload: status %d body %s", status, body)
+	}
+	if !strings.Contains(body, "breaker") {
+		t.Fatalf("open-breaker body does not mention the breaker: %s", body)
+	}
+	if status, _ := get(t, ts.URL+"/v1/concepts"); status != http.StatusOK {
+		t.Fatalf("queries failing while breaker open: status %d", status)
+	}
+}
+
+// TestQueryChaosAlwaysValidJSON: under a randomized-but-seeded fault
+// schedule on every query endpoint, each response — success or injected
+// failure — must be well-formed JSON with a sane status code, and once
+// the fault window passes every endpoint recovers.
+func TestQueryChaosAlwaysValidJSON(t *testing.T) {
+	path := writeTestKB(t, t.TempDir(), 0)
+	snap, err := freezeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Errors on roughly half the queries for the first 40 hits per site,
+	// then a clean tail. Caching is disabled so every request actually
+	// reaches the fault site.
+	inj := fault.New(99, map[string]fault.Rule{"serve.*": {ErrProb: 0.5, FailFirst: 5}})
+	svc := serve.New(snap, serve.Options{CacheSize: -1, Fault: inj})
+	ts := newTestServer(t, handlerConfig{svc: svc}, path)
+
+	urls := []string{
+		ts.URL + "/v1/stats",
+		ts.URL + "/v1/concepts",
+		ts.URL + "/v1/instances?concept=animal",
+		ts.URL + "/v1/explain?concept=animal&instance=dingo",
+		ts.URL + "/v1/drifted?concept=animal",
+	}
+	var failures int
+	for round := 0; round < 40; round++ {
+		for _, u := range urls {
+			status, body := get(t, u)
+			if status != http.StatusOK && status != http.StatusInternalServerError {
+				t.Fatalf("%s: unexpected status %d (%s)", u, status, body)
+			}
+			if !json.Valid([]byte(body)) {
+				t.Fatalf("%s: invalid JSON under chaos: %s", u, body)
+			}
+			if status != http.StatusOK {
+				failures++
+				if !strings.Contains(body, "injected") {
+					t.Fatalf("%s: 500 without the injected-fault marker: %s", u, body)
+				}
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("fault schedule injected no failures — chaos exercised nothing")
+	}
+	// ErrProb keeps firing forever, so recovery is shown per-request: a
+	// bounded number of retries always reaches a 200 for every endpoint.
+	for _, u := range urls {
+		ok := false
+		for try := 0; try < 50 && !ok; try++ {
+			status, _ := get(t, u)
+			ok = status == http.StatusOK
+		}
+		if !ok {
+			t.Fatalf("%s: no success in 50 tries at ErrProb 0.5", u)
+		}
+	}
+}

@@ -70,12 +70,18 @@ func run(kbPath, addr string, timeout time.Duration, cacheSize int, logger *log.
 	logger.Printf("loaded %s: generation %d, %d concepts, %d pairs",
 		kbPath, snap.Generation(), snap.Stats().Concepts, snap.Stats().DistinctPairs)
 
+	// Reloads go through a Reloader: transient load failures are retried
+	// with capped exponential backoff, persistent failure opens a circuit
+	// breaker, and throughout the service keeps answering queries from
+	// the last-good snapshot (marked stale until a reload succeeds).
+	reloader := serve.NewReloader(svc, func() (*snapshot.Snapshot, error) {
+		return freezeFile(kbPath)
+	}, serve.ReloadConfig{})
 	reload := func() error {
-		next, err := freezeFile(kbPath)
-		if err != nil {
+		if err := reloader.Reload(); err != nil {
 			return fmt.Errorf("reload: %w", err)
 		}
-		svc.Swap(next)
+		next := svc.Current()
 		logger.Printf("reloaded %s: generation %d, %d pairs",
 			kbPath, next.Generation(), next.Stats().DistinctPairs)
 		return nil

@@ -87,7 +87,14 @@ func newHandler(cfg handlerConfig) http.Handler {
 	if cfg.reload != nil {
 		mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
 			if err := cfg.reload(); err != nil {
-				writeError(w, http.StatusInternalServerError, err.Error())
+				status := http.StatusInternalServerError
+				if errors.Is(err, serve.ErrBreakerOpen) {
+					// The breaker is shedding reload load; the last-good
+					// snapshot keeps serving, so this is unavailability of
+					// the reload path, not a server fault.
+					status = http.StatusServiceUnavailable
+				}
+				writeError(w, status, err.Error())
 				return
 			}
 			respond(w, map[string]uint64{"generation": cfg.svc.Generation()}, nil)
@@ -105,13 +112,18 @@ func newHandler(cfg handlerConfig) http.Handler {
 	return h
 }
 
-// query wraps a /v1 query handler with the test seam.
+// query wraps a /v1 query handler with the stale marker and the test
+// seam. The X-Driftclean-Stale header is set before the handler writes
+// so clients can tell they are reading a last-good snapshot that a
+// failed reload has left behind.
 func query(cfg handlerConfig, h http.HandlerFunc) http.Handler {
-	if cfg.beforeQuery == nil {
-		return h
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		cfg.beforeQuery()
+		if cfg.svc.Stale() {
+			w.Header().Set("X-Driftclean-Stale", "true")
+		}
+		if cfg.beforeQuery != nil {
+			cfg.beforeQuery()
+		}
 		h(w, r)
 	})
 }

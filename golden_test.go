@@ -1,0 +1,63 @@
+package driftclean
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the checked-in golden CSVs instead of
+// diffing against them: go test -run TestExperimentGoldenFiles -update
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment CSVs")
+
+// goldenOptions is the smoke scale the golden files are generated at:
+// identical to the determinism-suite scale, so a golden mismatch means
+// the experiment *output* changed, not its stability.
+func goldenOptions() ExperimentOptions {
+	opts := DefaultExperimentOptions()
+	opts.Core.World.NumDomains = 2
+	opts.Core.World.InstancesPerConceptMin = 40
+	opts.Core.World.InstancesPerConceptMax = 80
+	opts.Core.Corpus.NumSentences = 8000
+	opts.Core.Clean.MaxRounds = 2
+	opts.EvalConcepts = 6
+	return opts
+}
+
+// TestExperimentGoldenFiles regenerates every experiment (table1–table5,
+// fig2–fig4, fig5a–fig5c) at smoke scale and byte-diffs the rendered CSV
+// against testdata/golden. The pipeline is deterministic end to end, so
+// any diff is a real behavior change — review it, then refresh the
+// goldens with -update.
+func TestExperimentGoldenFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every experiment")
+	}
+	runner := NewExperimentRunner(goldenOptions())
+	for _, id := range ExperimentIDs() {
+		table, err := runner.ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		got := table.CSV()
+		path := filepath.Join("testdata", "golden", id+".csv")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update to create): %v", id, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: CSV diverged from golden %s (rerun with -update after reviewing)\ngot:\n%s\nwant:\n%s",
+				id, path, got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"driftclean/internal/dp"
+	"driftclean/internal/fault"
 	"driftclean/internal/kb"
 	"driftclean/internal/par"
 	"driftclean/internal/rank"
@@ -56,6 +57,10 @@ type Config struct {
 	// before that round runs (the public API uses this for progress
 	// reporting and context cancellation).
 	OnRound func(round int) (stop bool)
+	// Fault, when non-nil, is consulted at the "clean.round" site once
+	// per detect-and-clean round (chaos testing); nil is the production
+	// no-op.
+	Fault *fault.Injector
 }
 
 // DefaultConfig returns the standard cleaning configuration.
@@ -123,6 +128,7 @@ func Run(k *kb.KB, detect DetectFunc, cfg Config) *Result {
 			res.Stopped = true
 			break
 		}
+		cfg.Fault.Check("clean.round")
 		labels := detect(k)
 		rr := CleanRound(k, labels, cfg)
 		rr.Round = round

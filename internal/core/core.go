@@ -15,6 +15,7 @@ import (
 	"driftclean/internal/dp"
 	"driftclean/internal/eval"
 	"driftclean/internal/extract"
+	"driftclean/internal/fault"
 	"driftclean/internal/feature"
 	"driftclean/internal/kb"
 	"driftclean/internal/kpca"
@@ -58,6 +59,13 @@ type Config struct {
 	// lever behind the determinism guarantee — output is identical at any
 	// setting. Subsystem configs that set their own Parallelism keep it.
 	Parallelism int
+
+	// Fault, when non-nil, is the chaos-testing injector shared by every
+	// pipeline stage: it is propagated into the corpus, extraction and
+	// cleaning subconfigs (unless they carry their own) and consulted at
+	// the "core.analyze" site once per analysis pass. nil — the
+	// production default — is a zero-cost no-op.
+	Fault *fault.Injector
 }
 
 // workers resolves the configured parallelism to a worker count.
@@ -74,6 +82,15 @@ func (c Config) propagate() Config {
 	}
 	if c.Clean.Parallelism == 0 {
 		c.Clean.Parallelism = c.Parallelism
+	}
+	if c.Corpus.Fault == nil {
+		c.Corpus.Fault = c.Fault
+	}
+	if c.Extract.Fault == nil {
+		c.Extract.Fault = c.Fault
+	}
+	if c.Clean.Fault == nil {
+		c.Clean.Fault = c.Fault
 	}
 	return c
 }
@@ -142,6 +159,7 @@ type Analysis struct {
 // features, KPCA) is fanned out across CPUs; results are deterministic
 // regardless of parallelism.
 func (s *System) Analyze(k *kb.KB) (*Analysis, error) {
+	s.Cfg.Fault.Check("core.analyze")
 	a := &Analysis{
 		Mutex: mutex.Analyze(k, s.Cfg.Mutex),
 	}

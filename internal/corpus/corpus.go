@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strings"
 
+	"driftclean/internal/fault"
 	"driftclean/internal/par"
 	"driftclean/internal/world"
 )
@@ -127,6 +128,10 @@ type Config struct {
 	// probability of corrupting one instance's spelling.
 	WrongFactProb float64
 	TypoProb      float64
+
+	// Fault, when non-nil, is consulted at the "corpus.shard" site once
+	// per generated shard (chaos testing); nil is the production no-op.
+	Fault *fault.Injector
 
 	// InstancesMin/Max bound the instance list length per sentence.
 	InstancesMin, InstancesMax int
@@ -510,6 +515,7 @@ func (g *generator) run() *Corpus {
 // up to the base quota plus an overage that absorbs cross-shard
 // duplicate losses during the merge.
 func (g *generator) generateShard(s *sampler, quota int) shardOutput {
+	g.cfg.Fault.Check("corpus.shard")
 	target := quota + quota/8 + 8
 	maxAttempts := target * 4
 	out := shardOutput{

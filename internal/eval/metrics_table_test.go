@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"testing"
+
+	"driftclean/internal/dp"
+)
+
+// TestCleaningMetricsTable exercises the four cleaning dimensions
+// (Table 3) over hand-computed scenarios, including every
+// zero-denominator edge: the ratio convention is 0/0 = 0, so a metric
+// whose population is empty reads as 0, never NaN.
+//
+// Truth in the fixture world: animal = {dog, cat, chicken, duck};
+// beef and pork are NOT animals.
+func TestCleaningMetricsTable(t *testing.T) {
+	o, _ := fixture(t)
+	cases := []struct {
+		name    string
+		before  []string
+		removed map[string]bool
+		want    CleaningMetrics
+	}{
+		{
+			name:    "perfect cleaning removes exactly the errors",
+			before:  []string{"dog", "cat", "beef", "pork"},
+			removed: map[string]bool{"beef": true, "pork": true},
+			want:    CleaningMetrics{PError: 1, RError: 1, PCorr: 1, RCorr: 1},
+		},
+		{
+			name:    "half-right removal",
+			before:  []string{"dog", "cat", "beef", "pork"},
+			removed: map[string]bool{"beef": true, "cat": true},
+			// Removed 2, one an error: perror 1/2. Errors 2, one removed:
+			// rerror 1/2. Remaining {dog, pork}: pcorr 1/2. Correct
+			// {dog, cat}, dog remains: rcorr 1/2.
+			want: CleaningMetrics{PError: 0.5, RError: 0.5, PCorr: 0.5, RCorr: 0.5},
+		},
+		{
+			name:    "nothing removed: perror has zero denominator",
+			before:  []string{"dog", "beef"},
+			removed: map[string]bool{},
+			want:    CleaningMetrics{PError: 0, RError: 0, PCorr: 0.5, RCorr: 1},
+		},
+		{
+			name:    "no errors to find: rerror has zero denominator",
+			before:  []string{"dog", "cat"},
+			removed: map[string]bool{"cat": true},
+			want:    CleaningMetrics{PError: 0, RError: 0, PCorr: 1, RCorr: 0.5},
+		},
+		{
+			name:    "everything removed: pcorr has zero denominator",
+			before:  []string{"dog", "beef"},
+			removed: map[string]bool{"dog": true, "beef": true},
+			want:    CleaningMetrics{PError: 0.5, RError: 1, PCorr: 0, RCorr: 0},
+		},
+		{
+			name:    "no correct pairs at all: rcorr has zero denominator",
+			before:  []string{"beef", "pork"},
+			removed: map[string]bool{"beef": true},
+			want:    CleaningMetrics{PError: 1, RError: 0.5, PCorr: 0, RCorr: 0},
+		},
+		{
+			name:    "empty instance set: every denominator is zero",
+			before:  nil,
+			removed: map[string]bool{},
+			want:    CleaningMetrics{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := o.CleaningRemovedSet("animal", tc.before, tc.removed)
+			if !approx(m.PError, tc.want.PError) {
+				t.Errorf("PError = %v, want %v", m.PError, tc.want.PError)
+			}
+			if !approx(m.RError, tc.want.RError) {
+				t.Errorf("RError = %v, want %v", m.RError, tc.want.RError)
+			}
+			if !approx(m.PCorr, tc.want.PCorr) {
+				t.Errorf("PCorr = %v, want %v", m.PCorr, tc.want.PCorr)
+			}
+			if !approx(m.RCorr, tc.want.RCorr) {
+				t.Errorf("RCorr = %v, want %v", m.RCorr, tc.want.RCorr)
+			}
+		})
+	}
+}
+
+// TestMergeCleaningTable pins the micro-aggregation: counts add, ratios
+// are recomputed from the merged counts (not averaged), and merging
+// nothing is all zeros.
+func TestMergeCleaningTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []CleaningMetrics
+		want CleaningMetrics
+	}{
+		{
+			name: "empty merge is zero",
+			in:   nil,
+			want: CleaningMetrics{},
+		},
+		{
+			name: "micro not macro",
+			// Concept A: 1 removal, right. Concept B: 9 removals, all
+			// wrong. Macro-average perror would be (1+0)/2 = 0.5; micro is
+			// 1/10.
+			in: []CleaningMetrics{
+				{Removed: 1, RemovedErrors: 1, Errors: 1},
+				{Removed: 9, RemovedErrors: 0, Errors: 0},
+			},
+			want: CleaningMetrics{PError: 0.1, RError: 1},
+		},
+		{
+			name: "zero-denominator sides stay zero after merge",
+			in: []CleaningMetrics{
+				{Remaining: 4, RemainingCorrect: 2, Correct: 2},
+			},
+			want: CleaningMetrics{PCorr: 0.5, RCorr: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MergeCleaning(tc.in)
+			if !approx(m.PError, tc.want.PError) || !approx(m.RError, tc.want.RError) ||
+				!approx(m.PCorr, tc.want.PCorr) || !approx(m.RCorr, tc.want.RCorr) {
+				t.Errorf("merged = %+v, want ratios %+v", m, tc.want)
+			}
+		})
+	}
+}
+
+// TestDetectionTable drives the binary DP detection score through
+// hand-computed confusion matrices, including the zero-denominator
+// precision (no positives predicted) and recall (no true DPs) cases.
+func TestDetectionTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		truth     map[string]dp.Label
+		predicted map[string]dp.Label
+		want      PRF1
+	}{
+		{
+			name:      "perfect",
+			truth:     map[string]dp.Label{"a": dp.Intentional, "b": dp.NonDP},
+			predicted: map[string]dp.Label{"a": dp.Accidental, "b": dp.NonDP},
+			// Binary DP-vs-not: Accidental counts as a DP prediction.
+			want: PRF1{Precision: 1, Recall: 1, F1: 1, TP: 1},
+		},
+		{
+			name:      "no predicted positives: precision denominator zero",
+			truth:     map[string]dp.Label{"a": dp.Intentional},
+			predicted: map[string]dp.Label{"a": dp.NonDP},
+			want:      PRF1{FN: 1},
+		},
+		{
+			name:      "no true DPs: recall denominator zero",
+			truth:     map[string]dp.Label{"a": dp.NonDP},
+			predicted: map[string]dp.Label{"a": dp.Intentional},
+			want:      PRF1{FP: 1},
+		},
+		{
+			name:      "predictions outside the labeled set are ignored",
+			truth:     map[string]dp.Label{"a": dp.Intentional},
+			predicted: map[string]dp.Label{"a": dp.Intentional, "zzz": dp.Intentional},
+			want:      PRF1{Precision: 1, Recall: 1, F1: 1, TP: 1},
+		},
+		{
+			name:      "mixed",
+			truth:     map[string]dp.Label{"a": dp.Intentional, "b": dp.Accidental, "c": dp.NonDP, "d": dp.Intentional},
+			predicted: map[string]dp.Label{"a": dp.Intentional, "b": dp.NonDP, "c": dp.Accidental, "d": dp.NonDP},
+			// TP {a}, FP {c}, FN {b, d}: P 1/2, R 1/3, F1 2·(1/2·1/3)/(5/6) = 0.4.
+			want: PRF1{Precision: 0.5, Recall: 1.0 / 3, F1: 0.4, TP: 1, FP: 1, FN: 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := Detection(tc.truth, tc.predicted)
+			if m.TP != tc.want.TP || m.FP != tc.want.FP || m.FN != tc.want.FN {
+				t.Errorf("confusion = TP%d/FP%d/FN%d, want TP%d/FP%d/FN%d",
+					m.TP, m.FP, m.FN, tc.want.TP, tc.want.FP, tc.want.FN)
+			}
+			if !approx(m.Precision, tc.want.Precision) || !approx(m.Recall, tc.want.Recall) || !approx(m.F1, tc.want.F1) {
+				t.Errorf("P/R/F1 = %v/%v/%v, want %v/%v/%v",
+					m.Precision, m.Recall, m.F1, tc.want.Precision, tc.want.Recall, tc.want.F1)
+			}
+		})
+	}
+}
+
+// TestAccuracyTable: three-class accuracy over the map intersection,
+// with the empty-intersection zero-denominator case.
+func TestAccuracyTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		truth     map[string]dp.Label
+		predicted map[string]dp.Label
+		want      float64
+	}{
+		{"disjoint keys score zero", map[string]dp.Label{"a": dp.NonDP}, map[string]dp.Label{"b": dp.NonDP}, 0},
+		{"empty maps score zero", map[string]dp.Label{}, map[string]dp.Label{}, 0},
+		{
+			"exact three-class match required",
+			map[string]dp.Label{"a": dp.Intentional, "b": dp.Accidental, "c": dp.NonDP},
+			map[string]dp.Label{"a": dp.Intentional, "b": dp.Intentional, "c": dp.NonDP},
+			2.0 / 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Accuracy(tc.truth, tc.predicted); !approx(got, tc.want) {
+				t.Errorf("accuracy = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -142,7 +142,7 @@ func TestDisambiguateTieBreaksAcrossIterations(t *testing.T) {
 
 	// And resolvePending applies it the same way at any worker count.
 	for _, workers := range []int{1, 4} {
-		resolved, still := resolvePending(k, []hearst.Parse{p}, workers)
+		resolved, still := resolvePending(k, []hearst.Parse{p}, workers, nil)
 		if len(resolved) != 1 || len(still) != 0 {
 			t.Fatalf("workers=%d: resolved=%d still=%d", workers, len(resolved), len(still))
 		}

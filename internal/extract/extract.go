@@ -26,6 +26,7 @@ package extract
 
 import (
 	"driftclean/internal/corpus"
+	"driftclean/internal/fault"
 	"driftclean/internal/hearst"
 	"driftclean/internal/kb"
 	"driftclean/internal/par"
@@ -40,6 +41,10 @@ type Config struct {
 	// per-iteration disambiguation scan. 1 forces the serial path; values
 	// below 1 use every CPU. The result is identical at any setting.
 	Parallelism int
+	// Fault, when non-nil, is consulted at the "extract.parse" site once
+	// per parsed batch and at "extract.resolve" once per semantic
+	// iteration (chaos testing); nil is the production no-op.
+	Fault *fault.Injector
 }
 
 // DefaultConfig returns the standard extraction configuration.
@@ -75,7 +80,8 @@ type parsedSentence struct {
 // parseAll parses every sentence into sentence-ordered slots, fanning
 // across the given worker count. hearst.ParseSentence is pure, so any
 // schedule produces the same slots.
-func parseAll(sentences []corpus.Sentence, workers int) []parsedSentence {
+func parseAll(sentences []corpus.Sentence, workers int, inj *fault.Injector) []parsedSentence {
+	inj.Check("extract.parse")
 	out := make([]parsedSentence, len(sentences))
 	par.For(len(sentences), workers, func(i int) {
 		out[i].parse, out[i].ok = hearst.ParseSentence(sentences[i].ID, sentences[i].Text)
@@ -95,7 +101,8 @@ type resolution struct {
 // Each slot depends only on the frozen KB and its own parse, so the scan
 // is embarrassingly parallel; collecting into index-ordered slots keeps
 // the apply order — and therefore the KB — identical to a serial scan.
-func resolvePending(k *kb.KB, pending []hearst.Parse, workers int) (resolved []resolution, still []hearst.Parse) {
+func resolvePending(k *kb.KB, pending []hearst.Parse, workers int, inj *fault.Injector) (resolved []resolution, still []hearst.Parse) {
+	inj.Check("extract.resolve")
 	slots := make([]resolution, len(pending))
 	hits := make([]bool, len(pending))
 	par.For(len(pending), workers, func(i int) {
@@ -125,7 +132,7 @@ func Run(c *corpus.Corpus, cfg Config) *Result {
 	res := &Result{KB: kb.New()}
 
 	// Parse everything once (parallel), then merge in sentence order.
-	parsed := parseAll(c.Sentences, workers)
+	parsed := parseAll(c.Sentences, workers, cfg.Fault)
 	var pending []hearst.Parse
 	newInIter := 0
 	for i := range parsed {
@@ -153,7 +160,7 @@ func Run(c *corpus.Corpus, cfg Config) *Result {
 	// at the start of each iteration, then apply all resolutions at once
 	// (new knowledge only helps "in the next iteration", Sec 1).
 	for iter := 2; iter <= cfg.MaxIterations && len(pending) > 0; iter++ {
-		resolved, still := resolvePending(res.KB, pending, workers)
+		resolved, still := resolvePending(res.KB, pending, workers, cfg.Fault)
 		if len(resolved) == 0 {
 			break
 		}

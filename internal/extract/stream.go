@@ -49,7 +49,7 @@ func (x *Extractor) PerIteration() []IterStats { return x.perIter }
 // sentence order, so the KB is independent of the worker count.
 func (x *Extractor) Add(sentences []corpus.Sentence) int {
 	core := 0
-	parsed := parseAll(sentences, x.cfg.workers())
+	parsed := parseAll(sentences, x.cfg.workers(), x.cfg.Fault)
 	for i := range parsed {
 		if !parsed[i].ok {
 			x.unparseable++
@@ -79,7 +79,7 @@ func (x *Extractor) Extend() int {
 	resolvedTotal := 0
 	for iter := 0; iter < x.cfg.MaxIterations && len(x.pending) > 0; iter++ {
 		x.iteration++
-		resolved, still := resolvePending(x.kb, x.pending, x.cfg.workers())
+		resolved, still := resolvePending(x.kb, x.pending, x.cfg.workers(), x.cfg.Fault)
 		if len(resolved) == 0 {
 			break
 		}

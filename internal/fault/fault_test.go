@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsNoOp: the disabled state must be a nil receiver that
+// does nothing — the zero-overhead contract production paths rely on.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("any.site"); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	in.Check("any.site") // must not panic
+	if got := in.Count("any.site"); got != 0 {
+		t.Fatalf("nil injector counted %d hits", got)
+	}
+	if got := in.Sites(); got != nil {
+		t.Fatalf("nil injector reported sites %v", got)
+	}
+	in.SetSleep(func(time.Duration) {}) // must not panic
+}
+
+// TestDeterministicDecisionSequence: the k-th hit of a site is a pure
+// function of (seed, site, k) — two injectors with the same seed see
+// identical fault schedules, and a different seed sees a different one.
+func TestDeterministicDecisionSequence(t *testing.T) {
+	rules := map[string]Rule{"pipe.stage": {ErrProb: 0.4}}
+	sequence := func(seed int64) []bool {
+		in := New(seed, rules)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Hit("pipe.stage") != nil
+		}
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identical seeds", i)
+		}
+	}
+	c := sequence(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-hit schedules")
+	}
+	// The empirical rate should be in the right ballpark for p=0.4.
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails < 40 || fails > 160 {
+		t.Fatalf("ErrProb 0.4 fired %d/200 times", fails)
+	}
+}
+
+// TestFailFirstThenRecover: FailFirst fails exactly the first N hits —
+// the deterministic shape retry loops are exercised with.
+func TestFailFirstThenRecover(t *testing.T) {
+	in := New(1, map[string]Rule{"serve.reload": {FailFirst: 3}})
+	for i := 1; i <= 3; i++ {
+		err := in.Hit("serve.reload")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	for i := 4; i <= 10; i++ {
+		if err := in.Hit("serve.reload"); err != nil {
+			t.Fatalf("hit %d after FailFirst: %v", i, err)
+		}
+	}
+	if got := in.Count("serve.reload"); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+}
+
+// TestPanicCarriesSentinel: injected panics carry an error wrapping
+// ErrInjected so recovery layers can recognize them.
+func TestPanicCarriesSentinel(t *testing.T) {
+	in := New(7, map[string]Rule{"extract.parse": {PanicProb: 1}})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PanicProb 1 did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v does not wrap ErrInjected", r)
+		}
+	}()
+	in.Check("extract.parse")
+}
+
+// TestCheckEscalatesErrors: Check turns an injected error return into a
+// panic (for seams that cannot return errors).
+func TestCheckEscalatesErrors(t *testing.T) {
+	in := New(7, map[string]Rule{"corpus.shard": {FailFirst: 1}})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Check did not escalate the injected error to a panic")
+		}
+	}()
+	in.Check("corpus.shard")
+}
+
+// TestLatencyInjection: Latency sleeps through the injected sleeper, by
+// default on every hit, and does not perturb the error stream.
+func TestLatencyInjection(t *testing.T) {
+	var slept []time.Duration
+	in := New(3, map[string]Rule{"serve.stats": {Latency: 5 * time.Millisecond}})
+	in.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	for i := 0; i < 4; i++ {
+		if err := in.Hit("serve.stats"); err != nil {
+			t.Fatalf("latency-only rule returned error: %v", err)
+		}
+	}
+	if len(slept) != 4 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("slept = %v, want four 5ms sleeps", slept)
+	}
+}
+
+// TestLatencyDoesNotPerturbErrorStream: adding a latency component to a
+// rule must not change which hits fail — each decision has its own
+// draw lane.
+func TestLatencyDoesNotPerturbErrorStream(t *testing.T) {
+	seq := func(rule Rule) []bool {
+		in := New(11, map[string]Rule{"s.x": rule})
+		in.SetSleep(func(time.Duration) {})
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = in.Hit("s.x") != nil
+		}
+		return out
+	}
+	plain := seq(Rule{ErrProb: 0.3})
+	withLat := seq(Rule{ErrProb: 0.3, Latency: time.Millisecond})
+	for i := range plain {
+		if plain[i] != withLat[i] {
+			t.Fatalf("hit %d: error decision changed when latency was added", i)
+		}
+	}
+}
+
+// TestPrefixRules: a "pkg.*" pattern matches every site under the
+// prefix, with exact rules taking precedence.
+func TestPrefixRules(t *testing.T) {
+	in := New(5, map[string]Rule{
+		"serve.*":     {FailFirst: 1000},
+		"serve.stats": {}, // exact override: never fails
+	})
+	if err := in.Hit("serve.concepts"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("serve.concepts not covered by serve.*: %v", err)
+	}
+	if err := in.Hit("serve.stats"); err != nil {
+		t.Fatalf("exact rule did not override prefix: %v", err)
+	}
+	if err := in.Hit("corpus.shard"); err != nil {
+		t.Fatalf("unrelated site matched serve.*: %v", err)
+	}
+}
+
+// TestConcurrentHitsAreRaceFree: hammering one site from many
+// goroutines must be race-clean and count every hit exactly once.
+func TestConcurrentHitsAreRaceFree(t *testing.T) {
+	in := New(9, map[string]Rule{"serve.explain": {ErrProb: 0.5}})
+	const goroutines, per = 8, 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = in.Hit("serve.explain")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Count("serve.explain"); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	if sites := in.Sites(); len(sites) != 1 || sites[0] != "serve.explain" {
+		t.Fatalf("Sites = %v", sites)
+	}
+}

@@ -1,0 +1,106 @@
+package hearst
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSentence drives the parser with arbitrary sentence text and
+// checks its structural invariants. The seed corpus covers the four
+// sentence classes the corpus generator emits (S1–S4), the "other than X
+// such as Y" mis-parse hazard, and degenerate punctuation-only inputs.
+func FuzzParseSentence(f *testing.F) {
+	seeds := []string{
+		// S1: simple forward pattern.
+		"animal such as dog , cat and duck .",
+		// S2: concept-preposition-concept head (two candidates).
+		"animal from country such as chicken and duck .",
+		// S3: the "other than" mis-parse hazard (nearest attachment).
+		"animal other than dog such as cat and wolf .",
+		// S4: reversed pattern.
+		"dog , cat and other animal .",
+		// Alternate forward markers.
+		"many animal including dog and cat .",
+		"popular food , especially beef .",
+		// Degenerate shapes fuzzing should mutate from.
+		"",
+		".",
+		",",
+		"such as",
+		"such as .",
+		"and other .",
+		"animal such as",
+		"animal such as , , and .",
+		"other than such as and other .",
+		"many common popular various animal such as dog .",
+		"a b c d e such as f",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		// Must never panic (the real assertion — the fuzz driver turns a
+		// panic into a failing input), and on ok must satisfy:
+		p, ok := ParseSentence(7, text)
+		if !ok {
+			return
+		}
+		if p.SentenceID != 7 {
+			t.Fatalf("SentenceID = %d, want 7", p.SentenceID)
+		}
+		if len(p.Candidates) == 0 {
+			t.Fatalf("ok parse with no candidates: %q", text)
+		}
+		if len(p.Instances) == 0 {
+			t.Fatalf("ok parse with no instances: %q", text)
+		}
+		for _, c := range p.Candidates {
+			if c == "" {
+				t.Fatalf("empty candidate token from %q", text)
+			}
+		}
+		seen := map[string]bool{}
+		for _, e := range p.Instances {
+			if e == "" {
+				t.Fatalf("empty instance token from %q", text)
+			}
+			if strings.ContainsAny(e, ",.") && e != "," && e != "." {
+				// Instances are whitespace tokens; commas/periods appear
+				// only as standalone separator tokens, which the list
+				// parser drops.
+				continue
+			}
+			if seen[e] {
+				t.Fatalf("duplicate instance %q from %q", e, text)
+			}
+			seen[e] = true
+		}
+		// Parsing is a pure function: same input, same output.
+		q, ok2 := ParseSentence(7, text)
+		if !ok2 {
+			t.Fatalf("second parse of %q failed", text)
+		}
+		if len(q.Candidates) != len(p.Candidates) || len(q.Instances) != len(p.Instances) || q.OtherThan != p.OtherThan {
+			t.Fatalf("parse of %q is not deterministic", text)
+		}
+	})
+}
+
+// TestParseOtherThanMisParse pins the paper's Accidental-DP example: the
+// naive nearest attachment makes "X other than Y such as Z" propose Y as
+// the concept, and the parse is flagged OtherThan.
+func TestParseOtherThanMisParse(t *testing.T) {
+	p, ok := ParseSentence(1, "animal other than dog such as cat and wolf .")
+	if !ok {
+		t.Fatal("mis-parse-hazard sentence did not parse")
+	}
+	if !p.OtherThan {
+		t.Error("OtherThan flag not set")
+	}
+	if len(p.Candidates) != 1 || p.Candidates[0] != "dog" {
+		t.Errorf("candidates = %v, want [dog] (nearest attachment)", p.Candidates)
+	}
+	if len(p.Instances) != 2 || p.Instances[0] != "cat" || p.Instances[1] != "wolf" {
+		t.Errorf("instances = %v, want [cat wolf]", p.Instances)
+	}
+}

@@ -86,22 +86,8 @@ func Fit(x [][]float64, cfg Config) (*Transform, error) {
 		}
 	}
 	// Save means for centering test points, then center: K' = HKH.
-	t.rowMNs = make([]float64, n)
-	for i := 0; i < n; i++ {
-		var s float64
-		for j := 0; j < n; j++ {
-			s += k.At(i, j)
-		}
-		t.rowMNs[i] = s / float64(n)
-		t.allMN += s
-	}
-	t.allMN /= float64(n * n)
-	kc := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			kc.Set(i, j, k.At(i, j)-t.rowMNs[i]-t.rowMNs[j]+t.allMN)
-		}
-	}
+	kc, rowMNs, allMN := centerKernel(k)
+	t.rowMNs, t.allMN = rowMNs, allMN
 
 	vals, vecs := linalg.EigenSym(kc)
 	if len(vals) == 0 || vals[0] <= 0 {
@@ -161,6 +147,33 @@ func (t *Transform) ProjectAll(x [][]float64) [][]float64 {
 		out[i] = t.Project(row)
 	}
 	return out
+}
+
+// centerKernel applies the double-centering K' = HKH (H = I − 11ᵀ/n) to
+// a square kernel matrix, returning the centered matrix together with
+// the row means and grand mean of the input — the statistics Project
+// needs to center out-of-sample kernel rows consistently. Centering is
+// idempotent: an already-centered matrix has zero row means and a zero
+// grand mean, so a second application is the identity.
+func centerKernel(k *linalg.Matrix) (kc *linalg.Matrix, rowMeans []float64, grandMean float64) {
+	n := k.Rows
+	rowMeans = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += k.At(i, j)
+		}
+		rowMeans[i] = s / float64(n)
+		grandMean += s
+	}
+	grandMean /= float64(n * n)
+	kc = linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kc.Set(i, j, k.At(i, j)-rowMeans[i]-rowMeans[j]+grandMean)
+		}
+	}
+	return kc, rowMeans, grandMean
 }
 
 func (t *Transform) kernel(a, b []float64) float64 {

@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"driftclean/internal/floats"
+)
+
+var quickCfg = &quick.Config{MaxCount: 40}
+
+// randomSymmetric builds a random symmetric n×n matrix.
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func matricesEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if !floats.EqualTol(a.Data[i], b.Data[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickTransposeInvolution: (Aᵀ)ᵀ = A for any shape.
+func TestQuickTransposeInvolution(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 1+rng.Intn(8), 1+rng.Intn(8))
+		return matricesEqual(a.T().T(), a, 0)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSymmetrizeIdempotent: Symmetrize produces a symmetric matrix
+// and a second application changes nothing.
+func TestQuickSymmetrizeIdempotent(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n)
+		a.Symmetrize()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !floats.Equal(a.At(i, j), a.At(j, i)) {
+					return false
+				}
+			}
+		}
+		b := a.Clone()
+		b.Symmetrize()
+		return matricesEqual(a, b, 0)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMulIdentity: I·A = A·I = A.
+func TestQuickMulIdentity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		a := randomMatrix(rng, r, c)
+		return matricesEqual(Mul(Identity(r), a), a, floats.Eps) &&
+			matricesEqual(Mul(a, Identity(c)), a, floats.Eps)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEigenSymReconstructs: for random symmetric A, every
+// eigenpair satisfies A·v ≈ λ·v, the eigenvalues come out in descending
+// order, and the eigenvectors are orthonormal.
+func TestQuickEigenSymReconstructs(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		a := randomSymmetric(rng, n)
+		vals, vecs := EigenSym(a)
+		if len(vals) != n {
+			return false
+		}
+		for p := 0; p < n; p++ {
+			if p > 0 && vals[p] > vals[p-1]+floats.Eps {
+				return false // not descending
+			}
+			v := vecs.Col(p)
+			av := a.MulVec(v)
+			for i := range av {
+				if !floats.EqualTol(av[i], vals[p]*v[i], 1e-7) {
+					return false
+				}
+			}
+		}
+		for p := 0; p < n; p++ {
+			for q := p; q < n; q++ {
+				dot := Dot(vecs.Col(p), vecs.Col(q))
+				want := 0.0
+				if p == q {
+					want = 1
+				}
+				if !floats.EqualTol(dot, want, 1e-7) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,7 +1,9 @@
 package par
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -76,4 +78,57 @@ func TestForSlotWrites(t *testing.T) {
 			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
 		}
 	}
+}
+
+// TestForWorkerPanicReachesCaller: a panic inside a worker must surface
+// as a panic on the calling goroutine — not crash the process — so the
+// pipeline's stage-level recovery can convert it into an error. This
+// fails on the pre-capture pool: the process dies before recover runs.
+func TestForWorkerPanicReachesCaller(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("propagated panic %v is not an error", r)
+		}
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("propagated panic %v does not unwrap to the original value", err)
+		}
+	}()
+	For(100, 4, func(i int) {
+		if i == 37 {
+			panic(errBoom)
+		}
+	})
+}
+
+var errBoom = errors.New("boom")
+
+// TestForChunkedPanicNonError: non-error panic payloads survive the
+// goroutine hop with their message intact.
+func TestForChunkedPanicNonError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		if msg := r.(error).Error(); !strings.Contains(msg, "raw payload") {
+			t.Fatalf("propagated message %q lost the payload", msg)
+		}
+	}()
+	ForChunked(8, 4, 1, func(i int) { panic("raw payload") })
+}
+
+// TestForSerialPanicUnwrapped: on the serial path the panic is the
+// caller's own; it must not be wrapped.
+func TestForSerialPanicUnwrapped(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "plain" {
+			t.Fatalf("serial panic = %v, want the raw value", r)
+		}
+	}()
+	For(4, 1, func(i int) { panic("plain") })
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"driftclean/internal/fault"
 	"driftclean/internal/kb"
 	"driftclean/internal/snapshot"
 )
@@ -44,6 +45,10 @@ type Options struct {
 	// CacheSize bounds the LRU result cache: 0 means DefaultCacheSize,
 	// negative disables caching (every query recomputes).
 	CacheSize int
+	// Fault, when non-nil, is consulted at the "serve.<endpoint>" site on
+	// every query (chaos testing); an injected error surfaces to the
+	// caller exactly like a compute failure. nil is the production no-op.
+	Fault *fault.Injector
 }
 
 // endpointNames enumerate the query surface; each gets its own metrics.
@@ -54,12 +59,17 @@ var endpointNames = []string{"stats", "concepts", "instances", "explain", "drift
 type Service struct {
 	cur   atomic.Pointer[snapshot.Snapshot]
 	swaps atomic.Int64
+	// stale marks the published snapshot as last-good-but-outdated: a
+	// reload has failed since it was published. Queries keep succeeding
+	// against it; HTTP layers surface the flag (X-Driftclean-Stale).
+	stale atomic.Bool
 
 	mu    sync.Mutex // guards cache
 	cache *lruCache
 
 	flights *flightGroup
 	metrics map[string]*endpointMetrics
+	fault   *fault.Injector
 }
 
 // New returns a Service serving the given snapshot (which may be nil;
@@ -76,6 +86,7 @@ func New(snap *snapshot.Snapshot, opts Options) *Service {
 		cache:   newLRU(size),
 		flights: newFlightGroup(),
 		metrics: make(map[string]*endpointMetrics, len(endpointNames)),
+		fault:   opts.Fault,
 	}
 	for _, name := range endpointNames {
 		s.metrics[name] = new(endpointMetrics)
@@ -95,8 +106,17 @@ func New(snap *snapshot.Snapshot, opts Options) *Service {
 func (s *Service) Swap(snap *snapshot.Snapshot) (prev *snapshot.Snapshot) {
 	prev = s.cur.Swap(snap)
 	s.swaps.Add(1)
+	s.stale.Store(false) // a successful publish is fresh by definition
 	return prev
 }
+
+// MarkStale flags (or unflags) the current snapshot as stale — still
+// served, but known to be outdated because a reload failed. Swap clears
+// the flag.
+func (s *Service) MarkStale(stale bool) { s.stale.Store(stale) }
+
+// Stale reports whether the current snapshot is marked stale.
+func (s *Service) Stale() bool { return s.stale.Load() }
 
 // Current returns the currently-published snapshot (nil if none).
 func (s *Service) Current() *snapshot.Snapshot { return s.cur.Load() }
@@ -150,7 +170,12 @@ func (s *Service) Concepts(ctx context.Context) ([]ConceptInfo, error) {
 	v, err := s.do(ctx, "concepts", "", func(snap *snapshot.Snapshot) (any, error) {
 		concepts := snap.Concepts()
 		out := make([]ConceptInfo, 0, len(concepts))
-		for _, c := range concepts {
+		for i, c := range concepts {
+			if i%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			out = append(out, ConceptInfo{Name: c, Instances: len(snap.Instances(c))})
 		}
 		return out, nil
@@ -170,7 +195,12 @@ func (s *Service) Instances(ctx context.Context, concept string) ([]InstanceInfo
 		}
 		names := snap.Instances(concept)
 		out := make([]InstanceInfo, 0, len(names))
-		for _, e := range names {
+		for i, e := range names {
+			if i%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			out = append(out, InstanceInfo{
 				Name:         e,
 				Count:        snap.Count(concept, e),
@@ -213,7 +243,12 @@ func (s *Service) Drifted(ctx context.Context, concept string, n int) ([]Drifted
 		depth := snap.DriftDepth(concept)
 		names := snap.TopDrifted(concept, n)
 		out := make([]DriftedInstance, 0, len(names))
-		for _, e := range names {
+		for i, e := range names {
+			if i%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			out = append(out, DriftedInstance{Name: e, Depth: depth[e]})
 		}
 		return out, nil
@@ -254,6 +289,9 @@ func (s *Service) do(ctx context.Context, endpoint, qkey string, compute func(*s
 }
 
 func (s *Service) doPinned(ctx context.Context, m *endpointMetrics, endpoint, qkey string, compute func(*snapshot.Snapshot) (any, error)) (any, error) {
+	if err := s.fault.Hit("serve." + endpoint); err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", endpoint, err)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -2,10 +2,12 @@
 # verify.sh — driftclean's full verification gate.
 #
 # Runs, in order: build, go vet, driftlint (the project-native static
-# analyzers in internal/lint) and the test suite under the race
-# detector. Any diagnostic from any stage fails the gate (nonzero
-# exit), which is exactly what CI wants: the paper's drift metrics are
-# only meaningful when every run is deterministic and race-free.
+# analyzers in internal/lint), the chaos/fault-injection suites, the
+# hearst fuzz seed corpus, the full test suite under the race detector,
+# and a total-statement-coverage ratchet (override with COVER_MIN). Any
+# diagnostic from any stage fails the gate (nonzero exit), which is
+# exactly what CI wants: the paper's drift metrics are only meaningful
+# when every run is deterministic and race-free.
 #
 # Usage: scripts/verify.sh        (from anywhere inside the repo)
 
@@ -34,8 +36,25 @@ go test -race -run 'TestSwapUnderConcurrentReaders|TestConcurrentReads|TestCoale
 echo "==> go test -race (parallel pipeline determinism, workers >= 4)"
 go test -race -run 'TestPipelineParallelMatchesSerial' .
 
+echo "==> go test -race (chaos: injected faults, panics, reload breaker)"
+go test -race ./internal/fault
+go test -race -run 'TestChaosDisabledFaultsAreNoOp|TestChaosPanicSurfacesAsReportError' .
+go test -race -run 'TestReload|TestQuery' ./internal/serve ./cmd/driftserve
+
+echo "==> fuzz seed corpus (hearst parser invariants, seeds only)"
+go test -run 'FuzzParseSentence' ./internal/hearst
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> coverage ratchet (total statement coverage >= ${COVER_MIN:=82.0}%)"
+go test -count=1 -coverprofile=/tmp/driftclean-cover.out -coverpkg=./... ./... > /dev/null
+total=$(go tool cover -func=/tmp/driftclean-cover.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+echo "    total coverage: ${total}%"
+awk -v got="$total" -v min="$COVER_MIN" 'BEGIN { exit got >= min ? 0 : 1 }' || {
+  echo "coverage ${total}% fell below the ratchet ${COVER_MIN}%" >&2
+  exit 1
+}
 
 echo "==> driftbench smoke (serial vs parallel A/B, writes BENCH_pipeline.json)"
 go run ./cmd/driftbench -smoke -out BENCH_pipeline.json
