@@ -5,33 +5,93 @@
 //
 // Usage:
 //
-//	driftbench                  # full ladder (small/medium/large)
-//	driftbench -smoke           # single tiny scale, for CI
-//	driftbench -out bench.json  # artifact path (default BENCH_pipeline.json)
+//	driftbench                       # full ladder (small/medium/large)
+//	driftbench -smoke                # single tiny scale, for CI
+//	driftbench -scales all           # smoke + full ladder
+//	driftbench -out bench.json       # artifact path (default BENCH_pipeline.json)
+//	driftbench -check old.json       # fail if any same-named scale's KB
+//	                                 # fingerprint differs from old.json
+//	driftbench -cpuprofile cpu.pprof # pprof CPU capture of the timed runs
+//	driftbench -memprofile mem.pprof # heap profile written after the runs
 //
 // The exit status is nonzero if any scale's serial and parallel runs
-// disagree on the final KB — the determinism guarantee is part of what
-// this benchmark verifies, not an assumption it makes.
+// disagree on the final KB, or if -check finds a fingerprint drift
+// against a previous artifact — determinism guarantees are part of what
+// this benchmark verifies, not assumptions it makes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"driftclean/internal/bench"
 )
 
 func main() {
 	smoke := flag.Bool("smoke", false, "run the single tiny CI scale instead of the full ladder")
+	scaleSet := flag.String("scales", "", `scale set: "default" (small/medium/large), "smoke", or "all" (smoke + ladder); overrides -smoke`)
 	out := flag.String("out", "BENCH_pipeline.json", "artifact output path")
+	check := flag.String("check", "", "path of a previous artifact; fail if any same-named scale's KB fingerprint differs")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed runs to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (after the timed runs) to this path")
 	flag.Parse()
 
 	scales := bench.DefaultScales()
 	if *smoke {
 		scales = bench.SmokeScales()
 	}
+	switch *scaleSet {
+	case "":
+	case "default":
+		scales = bench.DefaultScales()
+	case "smoke":
+		scales = bench.SmokeScales()
+	case "all":
+		scales = append(bench.SmokeScales(), bench.DefaultScales()...)
+	default:
+		fmt.Fprintf(os.Stderr, "driftbench: unknown -scales %q (want default, smoke or all)\n", *scaleSet)
+		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "driftbench: creating cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "driftbench: starting cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	res := bench.Run(scales, func(line string) { fmt.Println(line) })
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "driftbench: creating mem profile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "driftbench: writing mem profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "driftbench: closing mem profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if err := res.WriteJSON(*out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -50,5 +110,21 @@ func main() {
 	if !ok {
 		fmt.Fprintln(os.Stderr, "driftbench: serial and parallel runs diverged — determinism violation")
 		os.Exit(1)
+	}
+
+	if *check != "" {
+		drifts, err := bench.CheckAgainst(res, *check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "driftbench: -check: %v\n", err)
+			os.Exit(1)
+		}
+		for _, d := range drifts {
+			fmt.Fprintln(os.Stderr, "driftbench: "+d)
+		}
+		if len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "driftbench: KB fingerprints drifted from %s — byte-identical-output violation\n", *check)
+			os.Exit(1)
+		}
+		fmt.Printf("check: fingerprints match %s on every shared scale\n", *check)
 	}
 }

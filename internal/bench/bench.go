@@ -62,11 +62,32 @@ type StageSeconds struct {
 	Total   float64 `json:"total_s"`
 }
 
+// StageMem is the heap usage of one pipeline stage: AllocMB is the heap
+// allocated during the stage (MiB), Mallocs the allocation count. Both
+// are deltas of runtime.MemStats totals read at the stage boundaries.
+type StageMem struct {
+	AllocMB float64 `json:"alloc_mb"`
+	Mallocs uint64  `json:"mallocs"`
+}
+
+// StageMems breaks one run's allocation behavior down by stage, so a
+// memory regression localizes to the stage that caused it instead of
+// hiding inside the run totals.
+type StageMems struct {
+	World   StageMem `json:"world"`
+	Corpus  StageMem `json:"corpus"`
+	Extract StageMem `json:"extract"`
+	Analyze StageMem `json:"analyze"`
+	Clean   StageMem `json:"clean"`
+}
+
 // RunStats reports one timed pipeline run.
 type RunStats struct {
 	// Parallelism is the worker count the run was configured with.
 	Parallelism int          `json:"parallelism"`
 	Stages      StageSeconds `json:"stages"`
+	// StageMem breaks AllocMB/Mallocs down per stage.
+	StageMem StageMems `json:"stage_mem"`
 	// AllocMB is the heap allocated over the run (MiB); Mallocs the
 	// allocation count. Both are deltas of runtime.MemStats totals.
 	AllocMB float64 `json:"alloc_mb"`
@@ -144,9 +165,10 @@ func report(progress func(string), sc Scale, rs RunStats) {
 	if progress == nil {
 		return
 	}
-	progress(fmt.Sprintf("%-7s p=%-2d  total %6.2fs  (corpus %.2fs, extract %.2fs, analyze %.2fs, clean %.2fs)  %d pairs",
+	progress(fmt.Sprintf("%-7s p=%-2d  total %6.2fs  (corpus %.2fs, extract %.2fs, analyze %.2fs, clean %.2fs)  %d pairs  mallocs %dk (analyze %dk, clean %dk)",
 		sc.Name, rs.Parallelism, rs.Stages.Total,
-		rs.Stages.Corpus, rs.Stages.Extract, rs.Stages.Analyze, rs.Stages.Clean, rs.Pairs))
+		rs.Stages.Corpus, rs.Stages.Extract, rs.Stages.Analyze, rs.Stages.Clean, rs.Pairs,
+		rs.Mallocs/1000, rs.StageMem.Analyze.Mallocs/1000, rs.StageMem.Clean.Mallocs/1000))
 }
 
 // timeRun executes one full pipeline run at the given worker count,
@@ -165,13 +187,20 @@ func timeRun(sc Scale, parallelism int) RunStats {
 	runtime.ReadMemStats(&before)
 
 	rs := RunStats{Parallelism: parallelism}
+	// memN snapshots are read right at the stage boundaries (the reads are
+	// microseconds, far below timer resolution at these scales) so each
+	// stage's allocation behavior is reported on its own.
+	var mem1, mem2, mem3, mem4, after runtime.MemStats
 	t0 := time.Now()
 	w := world.New(cfg.World)
 	t1 := time.Now()
+	runtime.ReadMemStats(&mem1)
 	c := corpus.Generate(w, cfg.Corpus)
 	t2 := time.Now()
+	runtime.ReadMemStats(&mem2)
 	ext := extract.Run(c, cfg.Extract)
 	t3 := time.Now()
+	runtime.ReadMemStats(&mem3)
 	sys := &core.System{
 		Cfg:        cfg,
 		World:      w,
@@ -186,12 +215,12 @@ func timeRun(sc Scale, parallelism int) RunStats {
 		panic(fmt.Sprintf("bench: analyze failed: %v", err))
 	}
 	t4 := time.Now()
+	runtime.ReadMemStats(&mem4)
 	if _, err := sys.CleanDPs(core.DetectMultiTask); err != nil {
 		panic(fmt.Sprintf("bench: cleaning failed: %v", err))
 	}
 	t5 := time.Now()
 
-	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 
 	rs.Stages = StageSeconds{
@@ -202,11 +231,67 @@ func timeRun(sc Scale, parallelism int) RunStats {
 		Clean:   t5.Sub(t4).Seconds(),
 		Total:   t5.Sub(t0).Seconds(),
 	}
+	rs.StageMem = StageMems{
+		World:   memDelta(&before, &mem1),
+		Corpus:  memDelta(&mem1, &mem2),
+		Extract: memDelta(&mem2, &mem3),
+		Analyze: memDelta(&mem3, &mem4),
+		Clean:   memDelta(&mem4, &after),
+	}
 	rs.AllocMB = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
 	rs.Mallocs = after.Mallocs - before.Mallocs
 	rs.Pairs = sys.KB.NumPairs()
 	rs.Fingerprint = Fingerprint(sys.KB)
 	return rs
+}
+
+// memDelta computes one stage's StageMem from the MemStats snapshots at
+// its boundaries.
+func memDelta(from, to *runtime.MemStats) StageMem {
+	return StageMem{
+		AllocMB: float64(to.TotalAlloc-from.TotalAlloc) / (1 << 20),
+		Mallocs: to.Mallocs - from.Mallocs,
+	}
+}
+
+// CheckAgainst compares a freshly produced Result with a previously
+// written artifact (typically the committed BENCH_pipeline.json): for
+// every scale the two share — matched by name, corpus size and round
+// cap — the final KBs must agree on fingerprint and pair count. It
+// returns one human-readable line per drift; a non-empty return means
+// the byte-identical-output guarantee broke between the two artifacts.
+func CheckAgainst(res *Result, path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading previous artifact: %w", err)
+	}
+	var old Result
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("parsing previous artifact %s: %w", path, err)
+	}
+	oldByName := make(map[string]ScaleResult, len(old.Scales))
+	for _, sc := range old.Scales {
+		oldByName[sc.Name] = sc
+	}
+	var drifts []string
+	shared := 0
+	for _, sc := range res.Scales {
+		prev, ok := oldByName[sc.Name]
+		if !ok || prev.Sentences != sc.Sentences || prev.CleanRounds != sc.CleanRounds {
+			continue
+		}
+		shared++
+		if sc.Serial.Fingerprint != prev.Serial.Fingerprint || sc.Serial.Pairs != prev.Serial.Pairs {
+			drifts = append(drifts, fmt.Sprintf(
+				"scale %s: KB fingerprint %s (%d pairs) != previous %s (%d pairs)",
+				sc.Name, sc.Serial.Fingerprint, sc.Serial.Pairs,
+				prev.Serial.Fingerprint, prev.Serial.Pairs))
+		}
+	}
+	if shared == 0 {
+		return nil, fmt.Errorf("no shared scales between this run and %s — nothing was checked", path)
+	}
+	return drifts, nil
 }
 
 // Fingerprint hashes a KB's full pair set (with per-pair support counts)

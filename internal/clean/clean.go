@@ -52,6 +52,12 @@ type Config struct {
 	// the extractions they enabled (ablation: "one-shot removal vs the
 	// Sec 4.2 cascade").
 	DisableCascade bool
+	// Cache, when non-nil, is the cross-round random-walk score cache
+	// shared with the analysis passes: the Eq 21 checks read scores
+	// through it (when its configuration matches Walk), and every
+	// rollback invalidates exactly the concepts it touched, so the next
+	// round — and the next analysis — re-walks only what changed.
+	Cache *rank.Cache
 	// OnRound, when non-nil, is invoked before each detect-and-clean
 	// round with the 1-based round number; returning true stops the loop
 	// before that round runs (the public API uses this for progress
@@ -169,19 +175,34 @@ func CleanRound(k *kb.KB, labels Labels, cfg Config) RoundResult {
 	// path below stays as the serial fallback and as a safety net for any
 	// concept the prepass missed. Walk scores are deterministic, so the
 	// flags are identical either way.
-	scoreCache := map[string]rank.Scores{}
-	if workers := par.Workers(cfg.Parallelism); workers > 1 && !cfg.DropAllIntentional {
-		if need := phase1Concepts(k, labels, concepts); len(need) > 0 {
-			scoreCache = rank.WalkConcepts(k, need, cfg.Walk, workers)
+	//
+	// When a shared cross-round cache with a matching walk configuration
+	// is wired in, both the prepass and the lazy path go through it:
+	// concepts the preceding analysis (or an earlier round) already
+	// walked — and that no rollback has touched since — are free.
+	var scoresOf func(concept string) rank.Scores
+	if cfg.Cache != nil && cfg.Cache.Config() == cfg.Walk {
+		if workers := par.Workers(cfg.Parallelism); workers > 1 && !cfg.DropAllIntentional {
+			if need := phase1Concepts(k, labels, concepts); len(need) > 0 {
+				cfg.Cache.Warm(k, need, workers)
+			}
 		}
-	}
-	scoresOf := func(concept string) rank.Scores {
-		if s, ok := scoreCache[concept]; ok {
+		scoresOf = func(concept string) rank.Scores { return cfg.Cache.Scores(k, concept) }
+	} else {
+		scoreCache := map[string]rank.Scores{}
+		if workers := par.Workers(cfg.Parallelism); workers > 1 && !cfg.DropAllIntentional {
+			if need := phase1Concepts(k, labels, concepts); len(need) > 0 {
+				scoreCache = rank.WalkConcepts(k, need, cfg.Walk, workers)
+			}
+		}
+		scoresOf = func(concept string) rank.Scores {
+			if s, ok := scoreCache[concept]; ok {
+				return s
+			}
+			s := rank.RandomWalk(rank.BuildGraph(k, concept), cfg.Walk)
+			scoreCache[concept] = s
 			return s
 		}
-		s := rank.RandomWalk(rank.BuildGraph(k, concept), cfg.Walk)
-		scoreCache[concept] = s
-		return s
 	}
 	var flagged []int
 	for _, concept := range concepts {
@@ -208,6 +229,13 @@ func CleanRound(k *kb.KB, labels Labels, cfg Config) RoundResult {
 	rb := k.RollbackExtractions(flagged)
 	rr.PairsRemoved += len(rb.PairsRemoved)
 	rr.ExtractionsRolled += rb.ExtractionsRolled
+	// Rollback-keyed invalidation: drop exactly the touched concepts'
+	// walks (regardless of whether this round read through the shared
+	// cache — the next analysis pass will) and re-sync the cache to the
+	// KB's new version so everything untouched stays warm.
+	if cfg.Cache != nil {
+		cfg.Cache.Invalidate(k, rb.TouchedConcepts()...)
+	}
 
 	// Phase 2: Accidental DPs — drop the pairs and cascade.
 	var drop []kb.Pair
@@ -228,6 +256,9 @@ func CleanRound(k *kb.KB, labels Labels, cfg Config) RoundResult {
 	}
 	rr.PairsRemoved += len(rb2.PairsRemoved)
 	rr.ExtractionsRolled += rb2.ExtractionsRolled
+	if cfg.Cache != nil {
+		cfg.Cache.Invalidate(k, rb2.TouchedConcepts()...)
+	}
 	return rr
 }
 

@@ -23,6 +23,7 @@ import (
 	"driftclean/internal/linalg"
 	"driftclean/internal/mutex"
 	"driftclean/internal/par"
+	"driftclean/internal/rank"
 	"driftclean/internal/seedlabel"
 	"driftclean/internal/world"
 )
@@ -117,6 +118,14 @@ func DefaultConfig() Config {
 
 // System holds the built substrate: the world, the corpus and the
 // (drifted) extraction result.
+//
+// A System memoizes analysis work across calls: the per-concept
+// random-walk score cache is shared between every Analyze pass and the
+// cleaning rounds (rollbacks invalidate exactly the concepts they
+// touch), and a full *Analysis is reused verbatim when the KB has not
+// mutated since it was computed. Like the KB itself, a System's
+// orchestration methods (Analyze, Detect, CleanDPs) are not safe for
+// concurrent use.
 type System struct {
 	Cfg        Config
 	World      *world.World
@@ -124,6 +133,28 @@ type System struct {
 	Extraction *extract.Result
 	KB         *kb.KB
 	Oracle     *eval.Oracle
+
+	// scoreCache is the cross-round walk cache, created lazily by the
+	// first Analyze.
+	scoreCache *rank.Cache
+	// memo holds the last Analysis with the KB identity + version it was
+	// computed from; a hit requires both to be unchanged.
+	memo struct {
+		k        *kb.KB
+		version  uint64
+		analysis *Analysis
+	}
+}
+
+// ScoreCache returns the system's shared cross-round random-walk cache,
+// creating it on first use. Its configuration matches the feature
+// extractor's (rank.DefaultConfig), which is also the cleaning loop's
+// default Eq 21 walk configuration.
+func (s *System) ScoreCache() *rank.Cache {
+	if s.scoreCache == nil {
+		s.scoreCache = rank.NewCache(rank.DefaultConfig())
+	}
+	return s.scoreCache
 }
 
 // Build generates the world and corpus and runs the iterative extraction.
@@ -158,13 +189,23 @@ type Analysis struct {
 // sys.KB, or a KB mid-cleaning). Per-concept work (random walks,
 // features, KPCA) is fanned out across CPUs; results are deterministic
 // regardless of parallelism.
+//
+// Analysis is a pure function of the KB state and the (fixed) config,
+// so a repeated call on an unmutated KB — detected by pointer identity
+// plus the KB's mutation version — returns the previous *Analysis
+// without recomputing anything. Between cleaning rounds, the shared
+// score cache goes further: only concepts a rollback touched are
+// re-walked.
 func (s *System) Analyze(k *kb.KB) (*Analysis, error) {
 	s.Cfg.Fault.Check("core.analyze")
+	if s.memo.analysis != nil && s.memo.k == k && s.memo.version == k.Version() {
+		return s.memo.analysis, nil
+	}
 	a := &Analysis{
 		Mutex: mutex.Analyze(k, s.Cfg.Mutex),
 	}
 	a.Labeler = seedlabel.New(k, a.Mutex, s.Cfg.Seed)
-	a.Features = feature.NewExtractor(k, a.Mutex)
+	a.Features = feature.NewExtractorWithCache(k, a.Mutex, s.ScoreCache())
 
 	var eligible []string
 	for _, concept := range k.Concepts() {
@@ -205,6 +246,7 @@ func (s *System) Analyze(k *kb.KB) (*Analysis, error) {
 		a.Tasks = append(a.Tasks, task)
 		a.Concepts = append(a.Concepts, eligible[i])
 	}
+	s.memo.k, s.memo.version, s.memo.analysis = k, k.Version(), a
 	return a, nil
 }
 
@@ -273,11 +315,17 @@ func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, 
 		tr = nil
 	}
 	task := &learn.Task{Concept: concept}
+	// Batch projection: one shared kernel-row scratch for the whole task
+	// instead of a fresh row per instance.
+	var proj [][]float64
+	if tr != nil {
+		proj = tr.ProjectAll(raw)
+	}
 	for i, e := range names {
 		lbl, labeled := seeds[e]
 		x := raw[i]
 		if tr != nil {
-			x = tr.Project(raw[i])
+			x = proj[i]
 		}
 		task.Instances = append(task.Instances, learn.Instance{
 			Name:    e,
@@ -523,11 +571,23 @@ func (s *System) CleanDPs(kind DetectorKind) (*CleanResult, error) {
 			return clean.Labels{}
 		}
 		return onlyDPs(labels)
-	}, s.Cfg.propagate().Clean)
+	}, s.cleanConfig())
 	if detectErr != nil {
 		return nil, detectErr
 	}
 	return &CleanResult{Clean: res, BeforeInstances: before}, nil
+}
+
+// cleanConfig is the propagated cleaning config wired to the system's
+// shared score cache, so the Eq 21 walks of the cleaning loop and the
+// f3/f4 walks of each round's analysis pass are computed once per
+// concept per round, and untouched concepts carry over between rounds.
+func (s *System) cleanConfig() clean.Config {
+	cfg := s.Cfg.propagate().Clean
+	if cfg.Walk == s.ScoreCache().Config() {
+		cfg.Cache = s.ScoreCache()
+	}
+	return cfg
 }
 
 // onlyDPs strips non-DP predictions from a label set.

@@ -718,7 +718,19 @@ func (s *sampler) render(head string, insts []string, allowAlt bool) string {
 	if allowAlt {
 		pattern = s.pickPattern()
 	}
+	// The lead-in draw is hoisted out of the pattern branches (it fires
+	// for every pattern except "and other", so the RNG sequence is
+	// unchanged) to size the builder: one allocation per sentence.
+	var lead string
+	if pattern != "and other" {
+		lead = leadIn(s.rng)
+	}
+	size := len(lead) + len(head) + len(" , especially ") + len(" .")
+	for _, e := range insts {
+		size += len(e) + len(" and other ")
+	}
 	var b strings.Builder
+	b.Grow(size)
 	writeList := func() {
 		for i, e := range insts {
 			switch {
@@ -738,17 +750,17 @@ func (s *sampler) render(head string, insts []string, allowAlt bool) string {
 		b.WriteString(" and other ")
 		b.WriteString(head)
 	case "especially":
-		b.WriteString(leadIn(s.rng))
+		b.WriteString(lead)
 		b.WriteString(head)
 		b.WriteString(" , especially ")
 		writeList()
 	case "including":
-		b.WriteString(leadIn(s.rng))
+		b.WriteString(lead)
 		b.WriteString(head)
 		b.WriteString(" including ")
 		writeList()
 	default:
-		b.WriteString(leadIn(s.rng))
+		b.WriteString(lead)
 		b.WriteString(head)
 		b.WriteString(" such as ")
 		writeList()

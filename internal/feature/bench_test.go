@@ -1,0 +1,21 @@
+package feature
+
+import (
+	"testing"
+
+	"driftclean/internal/mutex"
+)
+
+func BenchmarkMatrix(b *testing.B) {
+	k := scenarioKB()
+	mx := mutex.Analyze(k, mutex.Config{ExclusiveThreshold: 0.3, SimilarThreshold: 0.9, MinCoreSize: 3})
+	instances := k.Instances("animal")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh extractor per iteration: Matrix cost includes the walk and
+		// frequency caches it fills, matching one analysis pass.
+		x := NewExtractor(k, mx)
+		x.Matrix("animal", instances)
+	}
+}

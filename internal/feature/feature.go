@@ -22,6 +22,7 @@ import (
 
 	"driftclean/internal/kb"
 	"driftclean/internal/mutex"
+	"driftclean/internal/par"
 	"driftclean/internal/rank"
 	"driftclean/internal/sparsevec"
 )
@@ -34,98 +35,113 @@ const Dim = 6
 const WeakCount = 2
 
 // Extractor computes feature vectors over one KB snapshot. Random-walk
-// scores and reverse indexes are cached per concept; build a fresh
-// Extractor after the KB changes.
+// scores live in a rank.Cache — private by default, or shared across
+// extractors and cleaning rounds via NewExtractorWithCache so a walk
+// survives from one cleaning round to the next as long as its concept
+// is untouched. Class frequency distributions are cached per concept
+// with the same single-flight discipline.
 type Extractor struct {
 	kb *kb.KB
 	mx *mutex.Analysis
 
-	rwCfg rank.Config
+	cache *rank.Cache
 
 	mu     sync.Mutex
-	scores map[string]rank.Scores
-	coreFq map[string]sparsevec.Vector
+	coreFq map[string]*freqEntry
 
 	// conceptsOf[e] lists concepts currently holding e (read-only after
 	// construction).
 	conceptsOf map[string][]string
 }
 
+type freqEntry struct {
+	ready chan struct{}
+	v     sparsevec.Vector
+}
+
 // NewExtractor builds a feature extractor over the KB with discovered
-// exclusions.
+// exclusions, using a private score cache.
 func NewExtractor(k *kb.KB, mx *mutex.Analysis) *Extractor {
-	x := &Extractor{
+	return NewExtractorWithCache(k, mx, rank.NewCache(rank.DefaultConfig()))
+}
+
+// NewExtractorWithCache builds a feature extractor that reads and fills
+// the given shared score cache. The cache invalidation protocol
+// (rank.Cache) keeps entries consistent across KB mutations; sharing one
+// cache across the analysis passes of consecutive cleaning rounds means
+// only the concepts a round touched are re-walked.
+func NewExtractorWithCache(k *kb.KB, mx *mutex.Analysis, cache *rank.Cache) *Extractor {
+	pairs := k.Pairs()
+	counts := make(map[string]int, len(pairs))
+	for _, p := range pairs {
+		counts[p.Instance]++
+	}
+	// Per-instance concept lists carved out of one arena: each segment is
+	// reserved (exactly sized, separately capped) at the instance's first
+	// pair, so the appends below never allocate or cross segments.
+	arena := make([]string, 0, len(pairs))
+	conceptsOf := make(map[string][]string, len(counts))
+	used := 0
+	for _, p := range pairs {
+		s, ok := conceptsOf[p.Instance]
+		if !ok {
+			s = arena[used:used : used+counts[p.Instance]]
+			used += counts[p.Instance]
+		}
+		conceptsOf[p.Instance] = append(s, p.Concept)
+	}
+	return &Extractor{
 		kb:         k,
 		mx:         mx,
-		rwCfg:      rank.DefaultConfig(),
-		scores:     make(map[string]rank.Scores),
-		coreFq:     make(map[string]sparsevec.Vector),
-		conceptsOf: make(map[string][]string),
+		cache:      cache,
+		coreFq:     make(map[string]*freqEntry),
+		conceptsOf: conceptsOf,
 	}
-	for _, p := range k.Pairs() {
-		x.conceptsOf[p.Instance] = append(x.conceptsOf[p.Instance], p.Concept)
-	}
-	return x
 }
 
 // Scores returns (building on first use) the random-walk scores of a
-// concept — also reused by the cleaning stage's Eq 21.
+// concept — also reused by the cleaning stage's Eq 21. Concurrent
+// callers missing the cache coalesce onto one walk (single-flight).
 func (x *Extractor) Scores(concept string) rank.Scores {
-	x.mu.Lock()
-	if s, ok := x.scores[concept]; ok {
-		x.mu.Unlock()
-		return s
-	}
-	x.mu.Unlock()
-	s := rank.RandomWalk(rank.BuildGraph(x.kb, concept), x.rwCfg)
-	x.mu.Lock()
-	x.scores[concept] = s
-	x.mu.Unlock()
-	return s
+	return x.cache.Scores(x.kb, concept)
 }
 
+// classFreq returns the concept's full learned frequency distribution,
+// computing it once per concept: concurrent first callers coalesce, the
+// leader builds the vector and the rest wait for it.
 func (x *Extractor) classFreq(concept string) sparsevec.Vector {
 	x.mu.Lock()
-	if v, ok := x.coreFq[concept]; ok {
+	e, ok := x.coreFq[concept]
+	if ok {
 		x.mu.Unlock()
-		return v
+		<-e.ready
+		return e.v
 	}
+	e = &freqEntry{ready: make(chan struct{})}
+	x.coreFq[concept] = e
 	x.mu.Unlock()
 	v := sparsevec.New()
-	for _, e := range x.kb.Instances(concept) {
-		v.Inc(e, float64(x.kb.Count(concept, e)))
+	for _, inst := range x.kb.Instances(concept) {
+		v.Inc(inst, float64(x.kb.Count(concept, inst)))
 	}
-	x.mu.Lock()
-	x.coreFq[concept] = v
-	x.mu.Unlock()
+	e.v = v
+	close(e.ready)
 	return v
 }
 
 // Warm precomputes the random-walk scores and class distributions of the
 // given concepts with the given parallelism, after which feature
 // extraction over those concepts is read-mostly and safe to run from
-// multiple goroutines.
+// multiple goroutines. Concepts already warm in a shared cache cost a
+// map hit.
 func (x *Extractor) Warm(concepts []string, parallelism int) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
-	jobs := make(chan string)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				x.Scores(c)
-				x.classFreq(c)
-			}
-		}()
-	}
-	for _, c := range concepts {
-		jobs <- c
-	}
-	close(jobs)
-	wg.Wait()
+	par.ForChunked(len(concepts), parallelism, 1, func(i int) {
+		x.Scores(concepts[i])
+		x.classFreq(concepts[i])
+	})
 }
 
 // F1 is the Eq 1 distribution-similarity feature. The paper compares
@@ -243,11 +259,20 @@ func (x *Extractor) Vector(concept, instance string) []float64 {
 }
 
 // Matrix returns the feature vectors of the given instances, row-aligned
-// with the input order.
+// with the input order. The rows share one flat backing array — one
+// allocation for the whole matrix instead of one per instance.
 func (x *Extractor) Matrix(concept string, instances []string) [][]float64 {
 	out := make([][]float64, len(instances))
+	flat := make([]float64, len(instances)*Dim)
 	for i, e := range instances {
-		out[i] = x.Vector(concept, e)
+		row := flat[i*Dim : (i+1)*Dim : (i+1)*Dim]
+		row[0] = x.F1(concept, e)
+		row[1] = x.F2(concept, e)
+		row[2] = x.F3(concept, e)
+		row[3] = x.F4(concept, e)
+		row[4] = x.F5(concept, e)
+		row[5] = x.F6(concept, e)
+		out[i] = row
 	}
 	return out
 }

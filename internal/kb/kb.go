@@ -54,7 +54,17 @@ type KB struct {
 	// trigger.
 	triggeredBy map[Pair][]int
 	byConcept   map[string]map[string]*PairInfo // concept -> instance -> info
+	// version counts mutations (extraction adds, pair removals,
+	// rollbacks). Caches keyed on KB state compare versions to detect
+	// that their entries went stale.
+	version uint64
 }
+
+// Version returns the KB's mutation counter. It increases on every
+// mutating call (AddExtraction, RemovePairs, RemovePairsNoCascade,
+// RollbackExtractions), so two reads returning the same value bracket a
+// window in which the KB was not modified.
+func (kb *KB) Version() uint64 { return kb.version }
 
 // New returns an empty knowledge base.
 func New() *KB {
@@ -69,13 +79,26 @@ func New() *KB {
 // under concept, enabled by the given trigger instances (nil for
 // iteration-1 core extractions). It returns the new extraction's ID.
 func (kb *KB) AddExtraction(sentenceID int, concept string, candidates, instances, triggers []string, iteration int) int {
+	kb.version++
+	// The three defensive copies share one backing array (each segment
+	// separately capped, so appending to one can never reach another);
+	// empty inputs stay nil, matching Clone.
+	buf := make([]string, 0, len(candidates)+len(instances)+len(triggers))
+	carve := func(src []string) []string {
+		if len(src) == 0 {
+			return nil
+		}
+		start := len(buf)
+		buf = append(buf, src...)
+		return buf[start:len(buf):len(buf)]
+	}
 	ex := &Extraction{
 		ID:         len(kb.extractions),
 		SentenceID: sentenceID,
 		Concept:    concept,
-		Candidates: append([]string(nil), candidates...),
-		Instances:  append([]string(nil), instances...),
-		Triggers:   append([]string(nil), triggers...),
+		Candidates: carve(candidates),
+		Instances:  carve(instances),
+		Triggers:   carve(triggers),
 		Iteration:  iteration,
 		Active:     true,
 	}
@@ -144,6 +167,7 @@ func (kb *KB) Clone() *KB {
 		}
 		m[p.Instance] = ci
 	}
+	out.version = kb.version
 	return out
 }
 
@@ -307,6 +331,32 @@ type RollbackResult struct {
 	CascadeDepth       int
 	CountsDecremented  int
 	InitiallyRequested int
+
+	// touched records every concept whose pair counts or extraction set
+	// the operation modified — read it through TouchedConcepts.
+	touched map[string]struct{}
+}
+
+// TouchedConcepts returns, sorted, every concept whose pair counts or
+// active extraction set the rollback changed. Per-concept caches (the
+// random-walk score cache in particular) invalidate exactly this set:
+// rollbacks are concept-local — an extraction's triggers are pairs of
+// its own concept, so a cascade never crosses into another concept —
+// and this method reports what actually changed rather than assuming it.
+func (r *RollbackResult) TouchedConcepts() []string {
+	out := make([]string, 0, len(r.touched))
+	for c := range r.touched {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *RollbackResult) touch(concept string) {
+	if r.touched == nil {
+		r.touched = make(map[string]struct{})
+	}
+	r.touched[concept] = struct{}{}
 }
 
 // RemovePairs removes the given pairs outright and rolls back the cascade
@@ -315,6 +365,7 @@ type RollbackResult struct {
 // counts of its extracted pairs; pairs reaching zero are removed and the
 // process repeats until a fixpoint.
 func (kb *KB) RemovePairs(pairs []Pair) RollbackResult {
+	kb.version++
 	res := RollbackResult{InitiallyRequested: len(pairs)}
 	removedPairs := map[Pair]bool{}
 	queue := make([]Pair, 0, len(pairs))
@@ -329,6 +380,7 @@ func (kb *KB) RemovePairs(pairs []Pair) RollbackResult {
 		removedPairs[p] = true
 		queue = append(queue, p)
 		res.PairsRemoved = append(res.PairsRemoved, p)
+		res.touch(p.Concept)
 	}
 	depth := 0
 	for len(queue) > 0 {
@@ -365,6 +417,7 @@ func (kb *KB) RemovePairs(pairs []Pair) RollbackResult {
 // back the extractions they enabled — the "one-shot removal" ablation
 // contrasted with the paper's Sec 4.2 cascade.
 func (kb *KB) RemovePairsNoCascade(pairs []Pair) RollbackResult {
+	kb.version++
 	res := RollbackResult{InitiallyRequested: len(pairs)}
 	for _, p := range pairs {
 		info := kb.pairs[p]
@@ -374,6 +427,7 @@ func (kb *KB) RemovePairsNoCascade(pairs []Pair) RollbackResult {
 		res.CountsDecremented += info.Count
 		info.Count = 0
 		res.PairsRemoved = append(res.PairsRemoved, p)
+		res.touch(p.Concept)
 	}
 	sort.Slice(res.PairsRemoved, func(i, j int) bool {
 		a, b := res.PairsRemoved[i], res.PairsRemoved[j]
@@ -388,6 +442,7 @@ func (kb *KB) RemovePairsNoCascade(pairs []Pair) RollbackResult {
 // RollbackExtractions deactivates the given extractions directly (used for
 // Intentional-DP sentence-level cleaning, Sec 4.1) and cascades.
 func (kb *KB) RollbackExtractions(ids []int) RollbackResult {
+	kb.version++
 	var res RollbackResult
 	res.InitiallyRequested = len(ids)
 	queue := make([]Pair, 0)
@@ -438,6 +493,7 @@ func (kb *KB) anyTriggerAlive(ex *Extraction) bool {
 func (kb *KB) rollbackExtraction(ex *Extraction, res *RollbackResult) []Pair {
 	ex.Active = false
 	res.ExtractionsRolled++
+	res.touch(ex.Concept)
 	var zeroed []Pair
 	for _, e := range ex.Instances {
 		p := Pair{ex.Concept, e}

@@ -75,14 +75,15 @@ func Fit(x [][]float64, cfg Config) (*Transform, error) {
 		t.gamma = medianHeuristic(t.train)
 	}
 
-	// Uncentered kernel matrix.
+	// Uncentered kernel matrix, filled through the flat backing array.
 	k := linalg.NewMatrix(n, n)
+	kd := k.Data
 	for i := 0; i < n; i++ {
-		k.Set(i, i, 1)
+		kd[i*n+i] = 1
 		for j := i + 1; j < n; j++ {
 			v := t.kernel(t.train[i], t.train[j])
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+			kd[i*n+j] = v
+			kd[j*n+i] = v
 		}
 	}
 	// Save means for centering test points, then center: K' = HKH.
@@ -101,10 +102,11 @@ func Fit(x [][]float64, cfg Config) (*Transform, error) {
 	// Normalize eigenvectors so projected coordinates have unit variance
 	// structure: alpha_p = v_p / sqrt(lambda_p).
 	t.alphas = linalg.NewMatrix(n, r)
+	ad, vd := t.alphas.Data, vecs.Data
 	for p := 0; p < r; p++ {
 		scale := 1 / math.Sqrt(vals[p])
 		for i := 0; i < n; i++ {
-			t.alphas.Set(i, p, vecs.At(i, p)*scale)
+			ad[i*r+p] = vd[i*n+p] * scale
 		}
 	}
 	return t, nil
@@ -118,35 +120,75 @@ func (t *Transform) Gamma() float64 { return t.gamma }
 
 // Project maps one raw feature vector into the r-dimensional KPCA space.
 func (t *Transform) Project(x []float64) []float64 {
-	z := t.standardize(x)
+	out := make([]float64, t.r)
+	t.projectInto(x, out, newScratch(t))
+	return out
+}
+
+// ProjectAll maps a batch of raw feature vectors. The kernel-row and
+// standardization scratch buffers are allocated once and reused across
+// points, and the output rows share one backing array — batch projection
+// costs two scratch slices plus the result instead of a kernel row per
+// point.
+func (t *Transform) ProjectAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	sc := newScratch(t)
+	flat := make([]float64, len(x)*t.r)
+	for i, row := range x {
+		o := flat[i*t.r : (i+1)*t.r : (i+1)*t.r]
+		t.projectInto(row, o, sc)
+		out[i] = o
+	}
+	return out
+}
+
+// scratch holds the per-projection working buffers: the standardized
+// input and the kernel row against the training points.
+type scratch struct {
+	z  []float64
+	kx []float64
+}
+
+func newScratch(t *Transform) *scratch {
+	d := 0
+	if len(t.train) > 0 {
+		d = len(t.train[0])
+	}
+	return &scratch{z: make([]float64, d), kx: make([]float64, len(t.train))}
+}
+
+// projectInto computes one projection into out (len t.r, zeroed). The
+// arithmetic matches the original per-point formulation operation for
+// operation: the centered kernel row entries are the same expressions,
+// and each out[p] accumulates over i in ascending order exactly as the
+// p-outer loop did — only the loop nest is inverted so the alphas matrix
+// is walked row-major.
+func (t *Transform) projectInto(x, out []float64, sc *scratch) {
+	z := sc.z
+	for i, v := range x {
+		z[i] = (v - t.means[i]) / t.stds[i]
+	}
 	n := len(t.train)
 	// Kernel row against training points, centered consistently with Fit.
-	kx := make([]float64, n)
+	kx := sc.kx
 	var mean float64
 	for i, tr := range t.train {
 		kx[i] = t.kernel(z, tr)
 		mean += kx[i]
 	}
 	mean /= float64(n)
-	out := make([]float64, t.r)
-	for p := 0; p < t.r; p++ {
-		var s float64
-		for i := 0; i < n; i++ {
-			centered := kx[i] - mean - t.rowMNs[i] + t.allMN
-			s += t.alphas.At(i, p) * centered
+	r := t.r
+	ad := t.alphas.Data
+	for i := 0; i < n; i++ {
+		centered := kx[i] - mean - t.rowMNs[i] + t.allMN
+		arow := ad[i*r : i*r+r : i*r+r]
+		for p, a := range arow {
+			out[p] += a * centered
 		}
-		out[p] = s
 	}
-	return out
-}
-
-// ProjectAll maps a batch of raw feature vectors.
-func (t *Transform) ProjectAll(x [][]float64) [][]float64 {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		out[i] = t.Project(row)
-	}
-	return out
 }
 
 // centerKernel applies the double-centering K' = HKH (H = I − 11ᵀ/n) to
@@ -158,19 +200,25 @@ func (t *Transform) ProjectAll(x [][]float64) [][]float64 {
 func centerKernel(k *linalg.Matrix) (kc *linalg.Matrix, rowMeans []float64, grandMean float64) {
 	n := k.Rows
 	rowMeans = make([]float64, n)
+	kd := k.Data
 	for i := 0; i < n; i++ {
+		row := kd[i*n : i*n+n : i*n+n]
 		var s float64
-		for j := 0; j < n; j++ {
-			s += k.At(i, j)
+		for _, v := range row {
+			s += v
 		}
 		rowMeans[i] = s / float64(n)
 		grandMean += s
 	}
 	grandMean /= float64(n * n)
 	kc = linalg.NewMatrix(n, n)
+	cd := kc.Data
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			kc.Set(i, j, k.At(i, j)-rowMeans[i]-rowMeans[j]+grandMean)
+		row := kd[i*n : i*n+n : i*n+n]
+		crow := cd[i*n : i*n+n : i*n+n]
+		rm := rowMeans[i]
+		for j, v := range row {
+			crow[j] = v - rm - rowMeans[j] + grandMean
 		}
 	}
 	return kc, rowMeans, grandMean

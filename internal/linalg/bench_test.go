@@ -1,0 +1,34 @@
+package linalg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSym builds a deterministic symmetric matrix: an RBF-like Gram
+// matrix over points on a line, the same shape EigenSym sees from KPCA.
+func benchSym(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			d := float64(i - j)
+			v := 1 / (1 + d*d/float64(n))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func BenchmarkEigenSym(b *testing.B) {
+	for _, n := range []int{30, 60, 120} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := benchSym(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				EigenSym(src)
+			}
+		})
+	}
+}

@@ -14,6 +14,12 @@ import (
 // Jacobi is O(n³) per sweep and converges quadratically; it is exact enough
 // for the kernel-PCA matrices (Sec 3.3.1) whose size is the per-concept
 // instance count, and it is unconditionally stable on symmetric input.
+//
+// The sweeps are the hottest loops in the whole pipeline (KPCA refits per
+// concept per cleaning round), so they index the flat backing array
+// directly: same arithmetic expressions in the same order as the
+// At/Set formulation — bit-identical results — without the per-element
+// offset multiply and bounds checks.
 func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("linalg: EigenSym of non-square %d×%d matrix", a.Rows, a.Cols))
@@ -25,6 +31,7 @@ func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
 	m := a.Clone()
 	m.Symmetrize()
 	v := Identity(n)
+	md := m.Data
 
 	const (
 		maxSweeps = 100
@@ -36,12 +43,13 @@ func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
 			break
 		}
 		for p := 0; p < n-1; p++ {
+			rowp := md[p*n : p*n+n : p*n+n]
 			for q := p + 1; q < n; q++ {
-				apq := m.At(p, q)
+				apq := rowp[q]
 				if math.Abs(apq) < 1e-300 {
 					continue
 				}
-				app, aqq := m.At(p, p), m.At(q, q)
+				app, aqq := rowp[p], md[q*n+q]
 				theta := (aqq - app) / (2 * apq)
 				var t float64
 				if theta >= 0 {
@@ -58,7 +66,7 @@ func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
 
 	values = make([]float64, n)
 	for i := 0; i < n; i++ {
-		values[i] = m.At(i, i)
+		values[i] = md[i*n+i]
 	}
 	// Sort descending, permuting eigenvector columns to match.
 	idx := make([]int, n)
@@ -68,33 +76,41 @@ func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
 	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
 	sorted := make([]float64, n)
 	vecs := NewMatrix(n, n)
+	vd, sd := vecs.Data, v.Data
 	for newCol, oldCol := range idx {
 		sorted[newCol] = values[oldCol]
 		for r := 0; r < n; r++ {
-			vecs.Set(r, newCol, v.At(r, oldCol))
+			vd[r*n+newCol] = sd[r*n+oldCol]
 		}
 	}
 	return sorted, vecs
 }
 
 // rotate applies the Jacobi rotation G(p,q,θ) to m (two-sided) and
-// accumulates it into the eigenvector matrix v (one-sided).
+// accumulates it into the eigenvector matrix v (one-sided). The column
+// updates walk both columns with one running offset (elements (i,p) and
+// (i,q) sit n apart in the flat array); the row updates operate on the
+// two row slices directly.
 func rotate(m, v *Matrix, p, q int, c, s float64) {
 	n := m.Rows
-	for i := 0; i < n; i++ {
-		mip, miq := m.At(i, p), m.At(i, q)
-		m.Set(i, p, c*mip-s*miq)
-		m.Set(i, q, s*mip+c*miq)
+	md := m.Data
+	for ip, iq := p, q; ip < len(md) && iq < len(md); ip, iq = ip+n, iq+n {
+		mip, miq := md[ip], md[iq]
+		md[ip] = c*mip - s*miq
+		md[iq] = s*mip + c*miq
 	}
-	for j := 0; j < n; j++ {
-		mpj, mqj := m.At(p, j), m.At(q, j)
-		m.Set(p, j, c*mpj-s*mqj)
-		m.Set(q, j, s*mpj+c*mqj)
+	rowp := md[p*n : p*n+n : p*n+n]
+	rowq := md[q*n : q*n+n : q*n+n]
+	for j, mpj := range rowp {
+		mqj := rowq[j]
+		rowp[j] = c*mpj - s*mqj
+		rowq[j] = s*mpj + c*mqj
 	}
-	for i := 0; i < n; i++ {
-		vip, viq := v.At(i, p), v.At(i, q)
-		v.Set(i, p, c*vip-s*viq)
-		v.Set(i, q, s*vip+c*viq)
+	vd := v.Data
+	for ip, iq := p, q; ip < len(vd) && iq < len(vd); ip, iq = ip+n, iq+n {
+		vip, viq := vd[ip], vd[iq]
+		vd[ip] = c*vip - s*viq
+		vd[iq] = s*vip + c*viq
 	}
 }
 
@@ -102,11 +118,11 @@ func offDiagNorm(m *Matrix) float64 {
 	var s float64
 	n := m.Rows
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
+		row := m.Data[i*n : i*n+n : i*n+n]
+		for j, v := range row {
+			if j == i {
 				continue
 			}
-			v := m.At(i, j)
 			s += v * v
 		}
 	}

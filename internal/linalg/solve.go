@@ -76,6 +76,14 @@ func (f *LU) SolveVec(b []float64) []float64 {
 		panic(fmt.Sprintf("linalg: SolveVec rhs length %d, want %d", len(b), n))
 	}
 	x := make([]float64, n)
+	f.solveVecInto(x, b)
+	return x
+}
+
+// solveVecInto solves A·x = b into a caller-owned x (len n); b is not
+// modified and x and b must not alias.
+func (f *LU) solveVecInto(x, b []float64) {
+	n := f.lu.Rows
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -97,10 +105,10 @@ func (f *LU) SolveVec(b []float64) []float64 {
 		}
 		x[i] = (x[i] - s) / row[i]
 	}
-	return x
 }
 
-// Solve solves A·X = B column by column.
+// Solve solves A·X = B column by column, reusing one column and one
+// solution buffer across all right-hand sides.
 func (f *LU) Solve(b *Matrix) *Matrix {
 	n := f.lu.Rows
 	if b.Rows != n {
@@ -108,11 +116,12 @@ func (f *LU) Solve(b *Matrix) *Matrix {
 	}
 	out := NewMatrix(n, b.Cols)
 	col := make([]float64, n)
+	x := make([]float64, n)
 	for j := 0; j < b.Cols; j++ {
 		for i := 0; i < n; i++ {
 			col[i] = b.At(i, j)
 		}
-		x := f.SolveVec(col)
+		f.solveVecInto(x, col)
 		for i := 0; i < n; i++ {
 			out.Set(i, j, x[i])
 		}

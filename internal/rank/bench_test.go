@@ -1,0 +1,52 @@
+package rank
+
+import (
+	"fmt"
+	"testing"
+
+	"driftclean/internal/kb"
+)
+
+// benchKB builds a drifted-looking trigger structure: a core of seeds,
+// then iterations where each new instance is triggered by an earlier
+// one, with repeated extractions so edge weights exceed 1.
+func benchKB(instances int) *kb.KB {
+	k := kb.New()
+	id := 0
+	names := make([]string, instances)
+	for i := range names {
+		names[i] = fmt.Sprintf("e%03d", i)
+	}
+	core := names[:10]
+	k.AddExtraction(id, "c", nil, core, nil, 1)
+	id++
+	for i := 10; i < instances; i++ {
+		trig := names[(i*7)%i] // deterministic earlier instance
+		k.AddExtraction(id, "c", nil, []string{names[i]}, []string{trig}, 2+i/20)
+		id++
+		if i%3 == 0 { // repeat some extractions for weight > 1
+			k.AddExtraction(id, "c", nil, []string{names[i]}, []string{trig}, 2+i/20)
+			id++
+		}
+	}
+	return k
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	k := benchKB(400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildGraph(k, "c")
+	}
+}
+
+func BenchmarkRandomWalk(b *testing.B) {
+	g := BuildGraph(benchKB(400), "c")
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RandomWalk(g, cfg)
+	}
+}

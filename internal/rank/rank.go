@@ -47,6 +47,15 @@ type Edge struct {
 }
 
 // BuildGraph constructs the trigger graph of a concept from the KB.
+//
+// Adjacency is accumulated per node, CSR style: edge weights build up in
+// a scratch counter array (float64 increments of small integers commute
+// exactly, so the counts match the old global-map accumulation bit for
+// bit), each node's neighbor list is sorted as it is emitted, and both
+// Out and In share one flat edge array each instead of a map entry plus
+// a slice per node. Edge order is identical to the previous
+// sort-by-(from,to) formulation: sources are visited in ascending index
+// order and each neighbor list is sorted ascending.
 func BuildGraph(k *kb.KB, concept string) *Graph {
 	nodes := k.Instances(concept)
 	g := &Graph{
@@ -57,10 +66,11 @@ func BuildGraph(k *kb.KB, concept string) *Graph {
 	for i, e := range nodes {
 		g.Index[e] = i
 	}
-	g.Out = make([][]Edge, len(nodes))
-	g.In = make([][]Edge, len(nodes))
-	g.Core = make([]bool, len(nodes))
-	g.CoreWeight = make([]float64, len(nodes))
+	n := len(nodes)
+	g.Out = make([][]Edge, n)
+	g.In = make([][]Edge, n)
+	g.Core = make([]bool, n)
+	g.CoreWeight = make([]float64, n)
 	for _, e := range k.InstancesAtIteration(concept, 1) {
 		if i, ok := g.Index[e]; ok {
 			g.Core[i] = true
@@ -71,14 +81,30 @@ func BuildGraph(k *kb.KB, concept string) *Graph {
 			g.CoreWeight[i] = math.Log2(1 + float64(k.Count(concept, e)))
 		}
 	}
-	type key struct{ from, to int }
-	weights := map[key]float64{}
-	for _, e := range nodes {
-		u := g.Index[e]
+
+	// trigSets memoizes each extraction's trigger membership set; an
+	// extraction with t triggers in this graph is visited t times, and the
+	// old code re-scanned its trigger list for every instance each visit.
+	trigSets := make(map[int]map[string]struct{})
+	counts := make([]float64, n) // scratch: weight accumulator per target
+	touched := make([]int, 0, 16)
+	var outFlat []Edge
+	outStart := make([]int, n+1)
+	inDeg := make([]int, n)
+	for u, e := range nodes {
+		touched = touched[:0]
 		for _, exID := range k.TriggeredExtractions(concept, e) {
 			ex := k.Extraction(exID)
 			if !ex.Active {
 				continue
+			}
+			ts, ok := trigSets[exID]
+			if !ok {
+				ts = make(map[string]struct{}, len(ex.Triggers))
+				for _, t := range ex.Triggers {
+					ts[t] = struct{}{}
+				}
+				trigSets[exID] = ts
 			}
 			for _, sub := range ex.Instances {
 				if sub == e {
@@ -88,37 +114,50 @@ func BuildGraph(k *kb.KB, concept string) *Graph {
 				if !ok {
 					continue // rolled back
 				}
-				isTrigger := false
-				for _, t := range ex.Triggers {
-					if t == sub {
-						isTrigger = true
-						break
-					}
-				}
-				if isTrigger {
+				if _, isTrigger := ts[sub]; isTrigger {
 					continue
 				}
-				weights[key{u, v}]++
+				if counts[v] == 0 {
+					touched = append(touched, v)
+				}
+				counts[v]++
 			}
 		}
-	}
-	// Deterministic edge order.
-	keys := make([]key, 0, len(weights))
-	for k2 := range weights {
-		keys = append(keys, k2)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].from != keys[j].from {
-			return keys[i].from < keys[j].from
+		sort.Ints(touched)
+		outStart[u] = len(outFlat)
+		for _, v := range touched {
+			// Log damping keeps a polysemous bridge's heavy repeat-trigger
+			// edges from funneling its entire mass into the drift cluster.
+			outFlat = append(outFlat, Edge{To: v, Weight: math.Log2(1 + counts[v])})
+			inDeg[v]++
+			counts[v] = 0
 		}
-		return keys[i].to < keys[j].to
-	})
-	for _, k2 := range keys {
-		// Log damping keeps a polysemous bridge's heavy repeat-trigger
-		// edges from funneling its entire mass into the drift cluster.
-		w := math.Log2(1 + weights[k2])
-		g.Out[k2.from] = append(g.Out[k2.from], Edge{To: k2.to, Weight: w})
-		g.In[k2.to] = append(g.In[k2.to], Edge{To: k2.from, Weight: w})
+	}
+	outStart[n] = len(outFlat)
+	for u := 0; u < n; u++ {
+		if s, e := outStart[u], outStart[u+1]; s < e {
+			g.Out[u] = outFlat[s:e:e]
+		}
+	}
+	// CSR transpose for In: prefix-sum the in-degrees, then fill each
+	// target's span in ascending source order — the same order the old
+	// sorted-key loop appended.
+	inFlat := make([]Edge, len(outFlat))
+	inStart := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		inStart[v+1] = inStart[v] + inDeg[v]
+	}
+	fill := append([]int(nil), inStart[:n]...)
+	for u := 0; u < n; u++ {
+		for _, ed := range outFlat[outStart[u]:outStart[u+1]] {
+			inFlat[fill[ed.To]] = Edge{To: u, Weight: ed.Weight}
+			fill[ed.To]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if s, e := inStart[v], inStart[v+1]; s < e {
+			g.In[v] = inFlat[s:e:e]
+		}
 	}
 	return g
 }

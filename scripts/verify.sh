@@ -56,7 +56,11 @@ awk -v got="$total" -v min="$COVER_MIN" 'BEGIN { exit got >= min ? 0 : 1 }' || {
   exit 1
 }
 
-echo "==> driftbench smoke (serial vs parallel A/B, writes BENCH_pipeline.json)"
-go run ./cmd/driftbench -smoke -out BENCH_pipeline.json
+echo "==> hot-path benchmarks (compile + one iteration each)"
+go test -run '^$' -bench . -benchtime=1x \
+  ./internal/linalg ./internal/kpca ./internal/rank ./internal/feature
+
+echo "==> driftbench smoke (serial vs parallel A/B + old-vs-new fingerprint check)"
+go run ./cmd/driftbench -smoke -check BENCH_pipeline.json -out BENCH_pipeline.smoke.json
 
 echo "verify: all gates passed"
