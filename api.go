@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"driftclean/internal/core"
 	"driftclean/internal/eval"
@@ -267,9 +268,17 @@ func CleanWithContext(ctx context.Context, method DetectorKind, opts ...Option) 
 		rep.PairsAfter = sys.KB.NumPairs()
 		rep.Rounds = len(cr.Clean.Rounds)
 		rep.Converged = cr.Clean.Converged
-		var per []eval.CleaningMetrics
-		for concept, before := range cr.BeforeInstances {
-			per = append(per, sys.Oracle.Cleaning(concept, before, sys.KB))
+		// Merge per-concept metrics in sorted concept order: float sums
+		// are order-sensitive, and map order would make the reported
+		// metrics drift across runs of the same experiment.
+		concepts := make([]string, 0, len(cr.BeforeInstances))
+		for concept := range cr.BeforeInstances {
+			concepts = append(concepts, concept)
+		}
+		sort.Strings(concepts)
+		per := make([]eval.CleaningMetrics, 0, len(concepts))
+		for _, concept := range concepts {
+			per = append(per, sys.Oracle.Cleaning(concept, cr.BeforeInstances[concept], sys.KB))
 		}
 		m := eval.MergeCleaning(per)
 		rep.PError, rep.RError, rep.PCorr, rep.RCorr = m.PError, m.RError, m.PCorr, m.RCorr

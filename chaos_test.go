@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -25,13 +26,25 @@ func chaosConfig() Config {
 	return cfg
 }
 
-// pipelineSites are every fault site the pipeline consults, stage order.
-var pipelineSites = []string{
-	"corpus.shard",
-	"extract.parse",
-	"extract.resolve",
-	"clean.round",
-	"core.analyze",
+// pipelineSites are every fault site the batch pipeline consults,
+// derived from the generated fault.Registry (driftlint -gensites)
+// rather than a hand-kept list: a new stage site lands in the registry
+// and is chaos-covered here automatically. Serving sites (serve.*) have
+// their own suite in internal/serve.
+var pipelineSites = pipelineSitesFromRegistry()
+
+func pipelineSitesFromRegistry() []string {
+	var sites []string
+	for _, site := range fault.Registry {
+		switch {
+		case strings.HasPrefix(site, "corpus."),
+			strings.HasPrefix(site, "extract."),
+			strings.HasPrefix(site, "clean."),
+			strings.HasPrefix(site, "core."):
+			sites = append(sites, site)
+		}
+	}
+	return sites
 }
 
 // TestChaosDisabledFaultsAreNoOp: acceptance (a) — a nil injector and an

@@ -3,14 +3,25 @@
 //
 // Usage:
 //
-//	driftlint [-json] [-only a,b] [-list] [packages...]
+//	driftlint [-json] [-only a,b] [-list] [-maxignores n] [-gensites] [packages...]
 //
 // Packages are go-style local patterns: ./... (default), ./internal/...
 // or plain directories. Test files are not analyzed.
 //
-// Exit codes: 0 — clean; 1 — findings reported; 2 — usage, load or
-// type-check error. CI gates on "any nonzero", humans read the text
-// output, and -json feeds tooling.
+// -maxignores n is the suppression ratchet: the run fails when the
+// analyzed sources carry more than n //lint:ignore directives, so the
+// escape hatch cannot silently grow — lowering the budget is easy,
+// raising it is a reviewed decision in scripts/verify.sh. When the full
+// suite runs (no -only filter), stale directives that suppressed
+// nothing are reported as lintdirective findings.
+//
+// -gensites regenerates internal/fault/sites_gen.go from the fault
+// sites found in the analyzed packages; it refuses while any site is
+// not a compile-time string.
+//
+// Exit codes: 0 — clean; 1 — findings reported or ratchet exceeded;
+// 2 — usage, load or type-check error. CI gates on "any nonzero",
+// humans read the text output, and -json feeds tooling.
 package main
 
 import (
@@ -31,12 +42,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("driftlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
-		only    = fs.String("only", "", "comma-separated analyzer filter (default: all)")
-		list    = fs.Bool("list", false, "list analyzers and exit")
+		jsonOut    = fs.Bool("json", false, "emit findings as a JSON array")
+		only       = fs.String("only", "", "comma-separated analyzer filter (default: all)")
+		list       = fs.Bool("list", false, "list analyzers and exit")
+		maxIgnores = fs.Int("maxignores", -1, "fail when more than this many //lint:ignore directives exist (-1: no limit)")
+		genSites   = fs.Bool("gensites", false, "regenerate internal/fault/sites_gen.go from the analyzed packages")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: driftlint [-json] [-only a,b] [-list] [packages...]\n")
+		fmt.Fprintf(stderr, "usage: driftlint [-json] [-only a,b] [-list] [-maxignores n] [-gensites] [packages...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -66,7 +79,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	if *genSites {
+		return generateSites(root, pkgs, stdout, stderr)
+	}
+
+	// Stale-suppression reporting only makes sense when every analyzer
+	// runs: under -only, a directive for an unselected analyzer is
+	// silent by construction, not stale.
+	res := lint.RunSuite(pkgs, analyzers, lint.Options{ReportStale: *only == ""})
+	diags := res.Diags
 	if *jsonOut {
 		if err := writeJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, "driftlint:", err)
@@ -77,12 +98,43 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
-	if len(diags) > 0 {
-		if !*jsonOut {
+	failed := len(diags) > 0
+	if *maxIgnores >= 0 && res.Ignores > *maxIgnores {
+		fmt.Fprintf(stderr, "driftlint: %d //lint:ignore directive(s) exceed the budget of %d; remove suppressions, or raise -maxignores in scripts/verify.sh as a reviewed decision\n", res.Ignores, *maxIgnores)
+		failed = true
+	}
+	if failed {
+		if !*jsonOut && len(diags) > 0 {
 			fmt.Fprintf(stderr, "driftlint: %d finding(s)\n", len(diags))
 		}
 		return 1
 	}
+	return 0
+}
+
+// generateSites rewrites internal/fault/sites_gen.go from the fault
+// sites registered in the loaded packages.
+func generateSites(root string, pkgs []*lint.Package, stdout, stderr *os.File) int {
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "driftlint: -gensites: no packages loaded")
+		return 2
+	}
+	names, err := lint.FaultSiteNames(pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, "driftlint: -gensites:", err)
+		return 1
+	}
+	dir := filepath.Join(root, "internal", "fault")
+	if _, err := os.Stat(dir); err != nil {
+		fmt.Fprintf(stderr, "driftlint: -gensites: %s: %v\n", dir, err)
+		return 2
+	}
+	path := filepath.Join(dir, "sites_gen.go")
+	if err := os.WriteFile(path, lint.GenerateSiteRegistry(names), 0o644); err != nil {
+		fmt.Fprintln(stderr, "driftlint: -gensites:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "driftlint: wrote %s (%d sites)\n", path, len(names))
 	return 0
 }
 

@@ -112,6 +112,133 @@ func TestExitCodeErrors(t *testing.T) {
 	}
 }
 
+// tempModuleFiles writes a multi-file module and returns its root.
+func tempModuleFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestMaxIgnoresRatchet: the suppression budget fails the run when the
+// directive count exceeds it, and passes at the exact budget.
+func TestMaxIgnoresRatchet(t *testing.T) {
+	dir := tempModule(t, `package tmp
+
+func cmp(a, b float64) bool {
+	//lint:ignore floateq fixture compares sentinels exactly
+	return a == b
+}
+`)
+	if code, _ := runIn(t, dir, "-maxignores", "1", "./..."); code != 0 {
+		t.Fatalf("one directive within budget 1: exit %d, want 0", code)
+	}
+	if code, _ := runIn(t, dir, "-maxignores", "0", "./..."); code != 1 {
+		t.Fatalf("one directive over budget 0: exit %d, want 1", code)
+	}
+}
+
+// TestStaleIgnore: a directive that suppresses nothing is reported as a
+// lintdirective finding on a full-suite run, but not under -only (where
+// the unselected analyzer's silence is expected).
+func TestStaleIgnore(t *testing.T) {
+	dir := tempModule(t, `package tmp
+
+// Sum is documented.
+func Sum(a, b int) int {
+	//lint:ignore floateq nothing here actually compares floats
+	return a + b
+}
+`)
+	code, out := runIn(t, dir, "./...")
+	if code != 1 || !strings.Contains(out, "stale //lint:ignore floateq") {
+		t.Fatalf("stale directive not reported: exit %d, out %q", code, out)
+	}
+	if code, _ := runIn(t, dir, "-only", "norand", "./..."); code != 0 {
+		t.Fatalf("-only run must not report stale directives, exit %d", code)
+	}
+}
+
+// faultModule is a minimal module with a fault package and one
+// registered site, for the gensites round trip.
+func faultModule(t *testing.T) string {
+	return tempModuleFiles(t, map[string]string{
+		"internal/fault/fault.go": `// Package fault is a stub injector.
+package fault
+
+// Injector decides the fate of site hits.
+type Injector struct{}
+
+// Hit registers a hit.
+func (in *Injector) Hit(site string) error { return nil }
+
+// Check registers a hit, dropping the verdict.
+func (in *Injector) Check(site string) {}
+`,
+		"pipe.go": `// Package tmp drives the stub injector.
+package tmp
+
+import "tmpmod/internal/fault"
+
+// Run touches the one chaos seam.
+func Run(inj *fault.Injector) {
+	inj.Check("tmp.op")
+}
+`,
+	})
+}
+
+// TestGenSites: -gensites writes the registry, after which a full run
+// is clean; before it, the missing registry is a faultsite finding.
+func TestGenSites(t *testing.T) {
+	dir := faultModule(t)
+	code, out := runIn(t, dir, "./...")
+	if code != 1 || !strings.Contains(out, "no generated Registry variable") {
+		t.Fatalf("missing registry not reported: exit %d, out %q", code, out)
+	}
+	code, out = runIn(t, dir, "-gensites", "./...")
+	if code != 0 || !strings.Contains(out, "sites_gen.go (1 sites)") {
+		t.Fatalf("-gensites: exit %d, out %q", code, out)
+	}
+	gen, err := os.ReadFile(filepath.Join(dir, "internal", "fault", "sites_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gen), "\"tmp.op\",") {
+		t.Fatalf("generated registry missing the site:\n%s", gen)
+	}
+	if code, out := runIn(t, dir, "./..."); code != 0 {
+		t.Fatalf("fresh registry still dirty: exit %d, out %q", code, out)
+	}
+	// Drift the source: a second site makes the registry stale again.
+	extra := `// Package tmp drives the stub injector.
+package tmp
+
+import "tmpmod/internal/fault"
+
+// Run touches two chaos seams now.
+func Run(inj *fault.Injector) {
+	inj.Check("tmp.op")
+	inj.Check("tmp.second")
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "pipe.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := runIn(t, dir, "./..."); code != 1 || !strings.Contains(out, "registry is stale") {
+		t.Fatalf("stale registry not reported: exit %d, out %q", code, out)
+	}
+}
+
 // TestOnlyFilter restricts the run to selected analyzers.
 func TestOnlyFilter(t *testing.T) {
 	dir := tempModule(t, `package tmp

@@ -224,7 +224,7 @@ func CleanRound(k *kb.KB, labels Labels, cfg Config) RoundResult {
 			}
 		}
 	}
-	flagged = dedupInts(flagged)
+	flagged = sortDedupInts(flagged)
 	rr.ExtractionsFlagged = len(flagged)
 	rb := k.RollbackExtractions(flagged)
 	rr.PairsRemoved += len(rb.PairsRemoved)
@@ -248,6 +248,14 @@ func CleanRound(k *kb.KB, labels Labels, cfg Config) RoundResult {
 			drop = append(drop, kb.Pair{Concept: concept, Instance: instance})
 		}
 	}
+	// Removal order decides cascade order and the rollback report's pair
+	// order; the inner label loop walks a map, so sort before acting.
+	sort.Slice(drop, func(i, j int) bool {
+		if drop[i].Concept != drop[j].Concept {
+			return drop[i].Concept < drop[j].Concept
+		}
+		return drop[i].Instance < drop[j].Instance
+	})
 	var rb2 kb.RollbackResult
 	if cfg.DisableCascade {
 		rb2 = k.RemovePairsNoCascade(drop)
@@ -331,7 +339,7 @@ func phase1Concepts(k *kb.KB, labels Labels, concepts []string) []string {
 	return out
 }
 
-func dedupInts(xs []int) []int {
+func sortDedupInts(xs []int) []int {
 	seen := make(map[int]struct{}, len(xs))
 	out := xs[:0]
 	for _, x := range xs {

@@ -408,7 +408,7 @@ func (r *Runner) Table5() *Table {
 				}
 			}
 		}
-		candidates = dedupSortedInts(candidates)
+		candidates = sortDedupInts(candidates)
 		stc[c] = sys.Oracle.SentenceCheck(sys.KB, candidates, flagged)
 	}
 
@@ -452,7 +452,7 @@ func (r *Runner) Table5() *Table {
 	return t
 }
 
-func dedupSortedInts(xs []int) []int {
+func sortDedupInts(xs []int) []int {
 	seen := map[int]struct{}{}
 	out := xs[:0]
 	for _, x := range xs {

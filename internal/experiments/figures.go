@@ -121,7 +121,16 @@ func (r *Runner) Figure3() *Table {
 	}
 	for _, c := range evalConceptsIn(sys.KB, r.evalConcepts) {
 		truth := sys.Oracle.TruthLabels(sys.KB, c)
-		for e, lbl := range truth {
+		// Quantiles sort internally, but the running mean sums floats in
+		// collection order; iterate entities sorted so the table bytes
+		// are identical run to run.
+		ents := make([]string, 0, len(truth))
+		for e := range truth {
+			ents = append(ents, e)
+		}
+		sort.Strings(ents)
+		for _, e := range ents {
+			lbl := truth[e]
 			v := a.Features.Vector(c, e)
 			for i := 0; i < 4; i++ {
 				vals[lbl][i] = append(vals[lbl][i], v[i])

@@ -151,7 +151,9 @@ func (kb *KB) Clone() *KB {
 		out.extractions[i] = &c
 	}
 	for p, ids := range kb.triggeredBy {
-		out.triggeredBy[p] = append([]int(nil), ids...)
+		cp := make([]int, len(ids))
+		copy(cp, ids)
+		out.triggeredBy[p] = cp
 	}
 	for p, info := range kb.pairs {
 		ci := &PairInfo{

@@ -277,7 +277,8 @@ func medianHeuristic(x [][]float64) float64 {
 	if n > 512 {
 		step = n / 512
 	}
-	var dists []float64
+	m := (n + step - 1) / step
+	dists := make([]float64, 0, m*(m-1)/2)
 	for i := 0; i < n; i += step {
 		for j := i + step; j < n; j += step {
 			var d2 float64

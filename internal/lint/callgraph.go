@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// This file approximates the program's call graph over every package
+// the shared Loader produced. The approximation is conservative and
+// cheap: only statically-resolved calls are recorded (direct function
+// calls and method calls whose callee go/types names), interface
+// dispatch and function-typed values are left unresolved. That is
+// exactly the precision the faultsite analyzer needs — fault sites must
+// be compile-time strings reaching the injector through statically
+// traceable wrappers, and anything more dynamic is reported rather than
+// guessed at.
+
+// callSite is one static call to a known function: where it happens and
+// which declared function's body it happens in.
+type callSite struct {
+	call   *ast.CallExpr
+	caller *types.Func // enclosing declared function (literals attribute to it)
+	pkg    *Package
+}
+
+// callGraph indexes the static calls of a loaded program.
+type callGraph struct {
+	// callsTo lists every static call site of a callee.
+	callsTo map[*types.Func][]callSite
+	// declPkg maps a declared function to the package its body lives in.
+	declPkg map[*types.Func]*Package
+	// declOf maps a declared function to its AST declaration.
+	declOf map[*types.Func]*ast.FuncDecl
+}
+
+// buildCallGraph indexes every package once. Function literals are
+// attributed to their enclosing declared function: a call made inside a
+// closure is treated as a call made by the function that created the
+// closure, which over-approximates when the closure escapes — the safe
+// direction for every query the analyzers ask.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	cg := &callGraph{
+		callsTo: map[*types.Func][]callSite{},
+		declPkg: map[*types.Func]*Package{},
+		declOf:  map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				cg.declPkg[fn] = pkg
+				cg.declOf[fn] = fd
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeFunc(pkg.Info, call); callee != nil {
+						cg.callsTo[callee] = append(cg.callsTo[callee], callSite{call: call, caller: fn, pkg: pkg})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return cg
+}
+
+// calleeFunc resolves the *types.Func a call statically targets, or nil
+// for dynamic calls (function values, interface methods resolve to the
+// interface's method object, which is fine: it simply never matches a
+// concrete declaration).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// maxConstDepth bounds the interprocedural constant-propagation walk;
+// sites reached through deeper wrapper chains are reported as
+// unresolvable rather than chased forever.
+const maxConstDepth = 6
+
+// resolveStrings resolves an expression to the exhaustive set of string
+// values it can hold at compile time, following constants, literal
+// concatenation, and — through the call graph — parameters bound at
+// every static call site of the enclosing function. The boolean reports
+// whether resolution was exhaustive; on false the value set is
+// meaningless and the caller should report the expression.
+func (cg *callGraph) resolveStrings(pkg *Package, enclosing *types.Func, e ast.Expr, depth int) ([]string, bool) {
+	if depth > maxConstDepth {
+		return nil, false
+	}
+	e = ast.Unparen(e)
+	// Constant-folded by the type checker (literals, consts, and any
+	// constant expression over them).
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return []string{constant.StringVal(tv.Value)}, true
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		ls, ok := cg.resolveStrings(pkg, enclosing, e.X, depth+1)
+		if !ok {
+			return nil, false
+		}
+		rs, ok := cg.resolveStrings(pkg, enclosing, e.Y, depth+1)
+		if !ok {
+			return nil, false
+		}
+		var out []string
+		for _, l := range ls {
+			for _, r := range rs {
+				out = append(out, l+r)
+			}
+		}
+		return out, true
+	case *ast.Ident:
+		obj, _ := pkg.Info.Uses[e].(*types.Var)
+		if obj == nil || enclosing == nil {
+			return nil, false
+		}
+		idx := paramIndex(enclosing, obj)
+		if idx < 0 {
+			return nil, false
+		}
+		sites := cg.callsTo[enclosing]
+		if len(sites) == 0 {
+			return nil, false // parameter with no visible binding
+		}
+		var out []string
+		for _, site := range sites {
+			if idx >= len(site.call.Args) {
+				return nil, false // variadic or mismatched call shape
+			}
+			vs, ok := cg.resolveStrings(site.pkg, site.caller, site.call.Args[idx], depth+1)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, vs...)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// paramIndex returns the position of obj among fn's declared parameters,
+// or -1.
+func paramIndex(fn *types.Func, obj *types.Var) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFuncBody parses src (a complete function declaration) and
+// returns its body.
+func parseFuncBody(t testing.TB, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// callEvent matches calls to a bare function of the given name.
+func callEvent(name string) eventFn {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// blockCalling finds the block containing a call to name.
+func blockCalling(t *testing.T, g *cfg, name string) *cfgBlock {
+	t.Helper()
+	ev := callEvent(name)
+	for _, b := range g.blocks {
+		if b.hasEvent(ev) {
+			return b
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// TestCFGPathQueries drives the join behavior of branches, loops,
+// switches and gotos through the two may-path queries: can the marker
+// call be reached from the entry, and can an exit be reached from it,
+// without passing an ev() call.
+func TestCFGPathQueries(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// cleanFromEntry / cleanToExit: expected results at the block
+		// containing the call to "probe".
+		cleanFromEntry bool
+		cleanToExit    bool
+	}{
+		{
+			name:           "if without else leaves a clean path",
+			src:            "func f(b bool) {\n\tif b {\n\t\tev()\n\t}\n\tprobe()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "if-else with ev on both arms blocks every path",
+			src:            "func f(b bool) {\n\tif b {\n\t\tev()\n\t} else {\n\t\tev()\n\t}\n\tprobe()\n}",
+			cleanFromEntry: false,
+			cleanToExit:    true,
+		},
+		{
+			name:           "loop body is skippable at zero iterations",
+			src:            "func f(n int) {\n\tfor i := 0; i < n; i++ {\n\t\tev()\n\t}\n\tprobe()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "ev after probe on the only path",
+			src:            "func f() {\n\tprobe()\n\tev()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    false,
+		},
+		{
+			name:           "early return bypasses the later ev",
+			src:            "func f(b bool) {\n\tprobe()\n\tif b {\n\t\treturn\n\t}\n\tev()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "switch default arm stays clean",
+			src:            "func f(x int) {\n\tswitch x {\n\tcase 0:\n\t\tev()\n\tdefault:\n\t}\n\tprobe()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "fallthrough chains ev into the next arm but the direct path is clean",
+			src:            "func f(x int) {\n\tswitch x {\n\tcase 0:\n\t\tev()\n\t\tfallthrough\n\tcase 1:\n\t\tprobe()\n\t}\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "goto skips over the ev",
+			src:            "func f() {\n\tgoto L\n\tev()\nL:\n\tprobe()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "continue skips ev only within an iteration, loop exit stays clean",
+			src:            "func f(xs []int) {\n\tfor _, x := range xs {\n\t\tif x == 0 {\n\t\t\tcontinue\n\t\t}\n\t\tev()\n\t}\n\tprobe()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "infinite loop with break before ev",
+			src:            "func f(b bool) {\n\tfor {\n\t\tif b {\n\t\t\tbreak\n\t\t}\n\t\tev()\n\t}\n\tprobe()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "select arm with ev, other arm clean",
+			src:            "func f(a, b chan int) {\n\tselect {\n\tcase <-a:\n\t\tev()\n\tcase <-b:\n\t}\n\tprobe()\n}",
+			cleanFromEntry: true,
+			cleanToExit:    true,
+		},
+		{
+			name:           "straight line through ev",
+			src:            "func f() {\n\tev()\n\tprobe()\n}",
+			cleanFromEntry: false,
+			cleanToExit:    true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildCFG(parseFuncBody(t, tc.src))
+			ev := callEvent("ev")
+			probeBlk := blockCalling(t, g, "probe")
+			entryClean := reachesStartWithout(g, ev)
+			exitClean := reachesExitWithout(g, ev)
+			// Refine with intra-block ordering, the way analyzers consume
+			// the queries.
+			var probeNode ast.Node
+			probeBlk.forEachNode(func(n ast.Node) bool {
+				if callEvent("probe")(n) {
+					probeNode = n
+					return false
+				}
+				return true
+			})
+			before, after := probeBlk.eventsAround(probeNode, ev)
+			fromEntry := entryClean[probeBlk.index] && !before
+			toExit := exitClean[probeBlk.index] && !after
+			if fromEntry != tc.cleanFromEntry {
+				t.Errorf("clean path from entry = %v, want %v", fromEntry, tc.cleanFromEntry)
+			}
+			if toExit != tc.cleanToExit {
+				t.Errorf("clean path to exit = %v, want %v", toExit, tc.cleanToExit)
+			}
+		})
+	}
+}
+
+// TestCFGDefers checks defers are collected in source order, including
+// nested ones, and are not modeled as edges.
+func TestCFGDefers(t *testing.T) {
+	g := buildCFG(parseFuncBody(t, "func f(b bool) {\n\tdefer one()\n\tif b {\n\t\tdefer two()\n\t}\n\tfor i := 0; i < 3; i++ {\n\t\tdefer three()\n\t}\n}"))
+	if len(g.defers) != 3 {
+		t.Fatalf("collected %d defers, want 3", len(g.defers))
+	}
+	names := []string{"one", "two", "three"}
+	for i, ds := range g.defers {
+		id, ok := ds.Call.Fun.(*ast.Ident)
+		if !ok || id.Name != names[i] {
+			t.Errorf("defer %d is %v, want call to %s", i, ds.Call.Fun, names[i])
+		}
+	}
+}
+
+// TestCFGReturns checks explicit returns mark their blocks and show up
+// as exits alongside the fall-off block.
+func TestCFGReturns(t *testing.T) {
+	g := buildCFG(parseFuncBody(t, "func f(b bool) int {\n\tif b {\n\t\treturn 1\n\t}\n\treturn 2\n}"))
+	returns := 0
+	for _, b := range g.blocks {
+		if b.returns {
+			returns++
+		}
+	}
+	if returns != 2 {
+		t.Errorf("%d return blocks, want 2", returns)
+	}
+	if len(g.exits()) < 2 {
+		t.Errorf("%d exits, want at least the two returns", len(g.exits()))
+	}
+}
+
+// TestWalkWhileHeld checks the critical-section walker stops at the
+// release on each path and covers held branches.
+func TestWalkWhileHeld(t *testing.T) {
+	src := "func f(b bool) {\n\tlock()\n\ta()\n\tif b {\n\t\trelease()\n\t\tafterRelease()\n\t} else {\n\t\tstillHeld()\n\t}\n\ttail()\n}"
+	g := buildCFG(parseFuncBody(t, src))
+	lockBlk := blockCalling(t, g, "lock")
+	var lockNode ast.Node
+	lockBlk.forEachNode(func(n ast.Node) bool {
+		if callEvent("lock")(n) {
+			lockNode = n
+			return false
+		}
+		return true
+	})
+	visited := map[string]bool{}
+	walkWhileHeld(g, lockBlk, lockNode, callEvent("release"), func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				visited[id.Name] = true
+			}
+		}
+	})
+	for _, want := range []string{"a", "stillHeld", "tail"} {
+		if !visited[want] {
+			t.Errorf("held section did not visit %s; visited %v", want, visited)
+		}
+	}
+	if visited["afterRelease"] {
+		t.Errorf("walk crossed the release; visited %v", visited)
+	}
+}
+
+// FuzzCFG feeds synthetic function bodies through the CFG builder and
+// checks structural invariants: indexes are consistent, edges stay in
+// range, the entry is always present, and the dataflow queries return
+// one verdict per block without panicking.
+func FuzzCFG(f *testing.F) {
+	seeds := []string{
+		"x := 1\n_ = x",
+		"if a {\n\tb()\n} else if c {\n\td()\n}",
+		"for i := 0; i < 10; i++ {\n\tif i == 3 {\n\t\tcontinue\n\t}\n\tif i == 5 {\n\t\tbreak\n\t}\n}",
+		"for k, v := range m {\n\t_ = k\n\t_ = v\n}",
+		"switch x {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\tc()\n}",
+		"select {\ncase <-ch:\n\ta()\ndefault:\n}",
+		"L:\n\tfor {\n\t\tfor {\n\t\t\tbreak L\n\t\t}\n\t}",
+		"goto Done\nDone:\n\treturn",
+		"defer f()\ndefer g()\nreturn",
+		"switch v := x.(type) {\ncase int:\n\t_ = v\ncase string:\n}",
+		"f := func() {\n\tfor {\n\t}\n}\nf()",
+		"for {\n\tselect {\n\tcase <-a:\n\t\treturn\n\tcase b <- 1:\n\t}\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f(a, c bool, x any, i int, m map[int]int, ch, b chan int) {\n" + body + "\n}"
+		file, err := parser.ParseFile(token.NewFileSet(), "fuzz.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		var fn *ast.FuncDecl
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn = fd
+				break
+			}
+		}
+		if fn == nil || fn.Body == nil {
+			t.Skip()
+		}
+		g := buildCFG(fn.Body)
+		if g.entry == nil || len(g.blocks) == 0 {
+			t.Fatal("cfg has no entry")
+		}
+		for i, blk := range g.blocks {
+			if blk.index != i {
+				t.Fatalf("block %d has index %d", i, blk.index)
+			}
+			for _, s := range blk.succs {
+				if s.index < 0 || s.index >= len(g.blocks) || g.blocks[s.index] != s {
+					t.Fatalf("block %d has an out-of-graph successor", i)
+				}
+			}
+		}
+		never := func(ast.Node) bool { return false }
+		always := func(n ast.Node) bool { _, ok := n.(*ast.CallExpr); return ok }
+		for _, ev := range []eventFn{never, always} {
+			if got := reachesStartWithout(g, ev); len(got) != len(g.blocks) {
+				t.Fatalf("forward query returned %d results for %d blocks", len(got), len(g.blocks))
+			}
+			if got := reachesExitWithout(g, ev); len(got) != len(g.blocks) {
+				t.Fatalf("backward query returned %d results for %d blocks", len(got), len(g.blocks))
+			}
+		}
+		if !reachesStartWithout(g, never)[g.entry.index] {
+			t.Fatal("entry must be reachable event-free from itself")
+		}
+		// The walker must terminate and stay within the graph.
+		count := 0
+		walkWhileHeld(g, g.entry, nil, never, func(ast.Node) { count++ })
+		_ = count
+	})
+}

@@ -1,0 +1,336 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// FaultSite statically audits the fault-injection seams (internal/fault
+// call sites) the chaos suite depends on:
+//
+//   - every site string passed to Injector.Hit / Injector.Check must be
+//     resolvable to compile-time constants — through literal
+//     concatenation and statically-traceable wrapper parameters (the
+//     serve.do → doPinned chain resolves to one site per endpoint);
+//   - site names follow the "<pkg>.<operation>" convention, with <pkg>
+//     equal to the package the call site lives in;
+//   - sites are globally unique across registration call sites;
+//   - every declared pipeline-stage and serving package registers at
+//     least one site, so a new stage cannot silently ship without a
+//     chaos seam;
+//   - the generated registry internal/fault/sites_gen.go matches the
+//     sites actually found in the source — a stale registry is a
+//     finding, and chaos_test.go consumes the registry instead of a
+//     hand-maintained list.
+var FaultSite = &Analyzer{
+	Name:       "faultsite",
+	Doc:        "fault sites are constant, uniquely named pkg.op strings; registry and stage coverage stay current",
+	RunProgram: runFaultSite,
+}
+
+// faultSiteRe is the naming convention: lowercase package prefix, a dot,
+// and a lowerCamel operation name.
+var faultSiteRe = regexp.MustCompile(`^[a-z][a-z0-9]*\.[a-z][a-zA-Z0-9]*$`)
+
+// requiredFaultPackages are the stage and serving packages that must
+// each register at least one fault site whenever they are part of the
+// analyzed program (matched by import-path suffix).
+var requiredFaultPackages = []string{
+	"internal/corpus",
+	"internal/extract",
+	"internal/clean",
+	"internal/core",
+	"internal/serve",
+}
+
+// foundSite is one resolved site registration.
+type foundSite struct {
+	site string
+	pkg  *Package
+	call *ast.CallExpr
+}
+
+func runFaultSite(p *ProgramPass) {
+	sites, _ := collectFaultSites(p)
+
+	// Global uniqueness across registration call sites.
+	byName := map[string][]foundSite{}
+	for _, s := range sites {
+		byName[s.site] = append(byName[s.site], s)
+	}
+	for _, name := range sortedKeys(byName) {
+		regs := byName[name]
+		for i, s := range regs {
+			if i > 0 {
+				p.Reportf(s.call.Pos(), "fault site %q is also registered at %s; site names must be globally unique", name, p.Fset.Position(regs[0].call.Pos()))
+			}
+		}
+	}
+
+	// Per-package stage coverage.
+	for _, req := range requiredFaultPackages {
+		for _, pkg := range p.Pkgs {
+			if !strings.HasSuffix(pkg.ImportPath, req) {
+				continue
+			}
+			n := 0
+			for _, s := range sites {
+				if s.pkg == pkg {
+					n++
+				}
+			}
+			if n == 0 && len(pkg.Files) > 0 {
+				p.Reportf(pkg.Files[0].Package, "package %s registers no fault site; every pipeline stage and serving package needs at least one chaos seam", pkg.ImportPath)
+			}
+		}
+	}
+
+	// Registry freshness: when the real fault package is part of the
+	// program, its generated registry must list exactly the found sites.
+	checkRegistry(p, sites)
+}
+
+// collectFaultSites resolves every Hit/Check call in the program
+// (outside the fault package itself) to its constant site names,
+// reporting unresolvable or ill-named sites along the way. The returned
+// list is sorted by site name, then position.
+func collectFaultSites(p *ProgramPass) ([]foundSite, bool) {
+	cg := p.CallGraph()
+	clean := true
+	var sites []foundSite
+	for _, pkg := range p.Pkgs {
+		if isFaultPackage(pkg) {
+			continue // the injector's own internals are not registrations
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				// Calls inside function literals are attributed to the
+				// enclosing declared function, matching the call graph.
+				enclosing, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if !isInjectorCall(pkg.Info, call) || len(call.Args) != 1 {
+						return true
+					}
+					vals, ok := cg.resolveStrings(pkg, enclosing, call.Args[0], 0)
+					if !ok || len(vals) == 0 {
+						clean = false
+						p.Reportf(call.Args[0].Pos(), "fault site is not resolvable to compile-time strings; the chaos registry cannot enumerate it — pass a literal or a statically-bound parameter")
+						return true
+					}
+					for _, v := range vals {
+						if !faultSiteRe.MatchString(v) {
+							clean = false
+							p.Reportf(call.Args[0].Pos(), "fault site %q violates the \"pkg.operation\" naming convention", v)
+							continue
+						}
+						if prefix := v[:strings.IndexByte(v, '.')]; prefix != pkg.Types.Name() {
+							clean = false
+							p.Reportf(call.Args[0].Pos(), "fault site %q is registered in package %s; the prefix must match the registering package", v, pkg.Types.Name())
+							continue
+						}
+						sites = append(sites, foundSite{site: v, pkg: pkg, call: call})
+					}
+					return true
+				})
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].site != sites[j].site {
+			return sites[i].site < sites[j].site
+		}
+		return sites[i].call.Pos() < sites[j].call.Pos()
+	})
+	return sites, clean
+}
+
+// isInjectorCall reports whether the call is Injector.Hit or
+// Injector.Check on the fault package's injector type.
+func isInjectorCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || (fn.Name() != "Hit" && fn.Name() != "Check") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Injector" && obj.Pkg() != nil && obj.Pkg().Name() == "fault"
+}
+
+// isFaultPackage reports whether pkg is the injector implementation
+// itself.
+func isFaultPackage(pkg *Package) bool {
+	return pkg.Types.Name() == "fault" && path.Base(pkg.ImportPath) == "fault"
+}
+
+// checkRegistry compares the generated registry variable in the fault
+// package against the collected sites.
+func checkRegistry(p *ProgramPass, sites []foundSite) {
+	var faultPkg *Package
+	for _, pkg := range p.Pkgs {
+		if isFaultPackage(pkg) {
+			faultPkg = pkg
+		}
+	}
+	if faultPkg == nil {
+		return
+	}
+	reg, pos, ok := registryContents(faultPkg)
+	if !ok {
+		p.Reportf(faultPkg.Files[0].Package, "package %s has no generated Registry variable; run `go run ./cmd/driftlint -gensites` to create internal/fault/sites_gen.go", faultPkg.ImportPath)
+		return
+	}
+	want := uniqueSiteNames(sites)
+	if len(reg) != len(want) {
+		p.Reportf(pos, "fault site registry is stale: lists %d sites, source registers %d; run `go run ./cmd/driftlint -gensites`", len(reg), len(want))
+		return
+	}
+	for i := range want {
+		if reg[i] != want[i] {
+			p.Reportf(pos, "fault site registry is stale: entry %d is %q, source says %q; run `go run ./cmd/driftlint -gensites`", i, reg[i], want[i])
+			return
+		}
+	}
+}
+
+// registryContents extracts the string entries of the fault package's
+// Registry variable.
+func registryContents(pkg *Package) (entries []string, pos token.Pos, ok bool) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, isGen := decl.(*ast.GenDecl)
+			if !isGen {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, isVal := spec.(*ast.ValueSpec)
+				if !isVal {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "Registry" || i >= len(vs.Values) {
+						continue
+					}
+					lit, isLit := vs.Values[i].(*ast.CompositeLit)
+					if !isLit {
+						continue
+					}
+					entries = []string{}
+					for _, el := range lit.Elts {
+						if bl, isStr := el.(*ast.BasicLit); isStr {
+							if s, err := unquote(bl.Value); err == nil {
+								entries = append(entries, s)
+							}
+						}
+					}
+					return entries, name.Pos(), true
+				}
+			}
+		}
+	}
+	return nil, token.NoPos, false
+}
+
+func unquote(s string) (string, error) {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		var out string
+		if _, err := fmt.Sscanf(s, "%q", &out); err != nil {
+			return "", err
+		}
+		return out, nil
+	}
+	return "", fmt.Errorf("lint: not a quoted string: %s", s)
+}
+
+// uniqueSiteNames dedups and sorts the collected site names.
+func uniqueSiteNames(sites []foundSite) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range sites {
+		if !seen[s.site] {
+			seen[s.site] = true
+			out = append(out, s.site)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string][]foundSite) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FaultSiteNames runs the fault-site collector over a loaded program and
+// returns the sorted unique site names. cmd/driftlint -gensites uses it
+// to (re)generate internal/fault/sites_gen.go; the error reports
+// unresolvable sites, which must be fixed before generation.
+func FaultSiteNames(pkgs []*Package) ([]string, error) {
+	var diags []Diagnostic
+	var cg *callGraph
+	pass := &ProgramPass{
+		Analyzer: FaultSite,
+		Fset:     pkgs[0].Fset,
+		Pkgs:     pkgs,
+		cg:       &cg,
+		diags:    &diags,
+		ign:      newIgnoreIndex(pkgs[0].Fset, nil),
+	}
+	sites, clean := collectFaultSites(pass)
+	if !clean {
+		return nil, fmt.Errorf("lint: %d fault site(s) are unresolvable or ill-named; fix them before generating the registry", len(diags))
+	}
+	return uniqueSiteNames(sites), nil
+}
+
+// GenerateSiteRegistry renders sites_gen.go: the fault package's
+// generated registry of every fault site in the program, consumed by
+// the chaos suite's every-site-visited test.
+func GenerateSiteRegistry(sites []string) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("// Code generated by driftlint -gensites; DO NOT EDIT.\n\n")
+	buf.WriteString("package fault\n\n")
+	buf.WriteString("// Registry lists every fault site registered in the module's source,\n")
+	buf.WriteString("// sorted. The faultsite analyzer keeps it current (a mismatch is a\n")
+	buf.WriteString("// finding) and the chaos suite's every-site-visited test consumes it,\n")
+	buf.WriteString("// so a new pipeline stage cannot ship without chaos coverage.\n")
+	buf.WriteString("var Registry = []string{\n")
+	for _, s := range sites {
+		fmt.Fprintf(&buf, "\t%q,\n", s)
+	}
+	buf.WriteString("}\n")
+	return buf.Bytes()
+}

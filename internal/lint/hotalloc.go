@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the flat-kernel discipline of the numeric hot path
+// (DESIGN.md §7): the linalg/kpca/rank/feature packages were rewritten
+// around preallocated flat buffers precisely so the per-round working
+// set stays allocation-free, and the benchmark fingerprint A/B only
+// stays meaningful if that property holds. The analyzer flags heap
+// allocations syntactically inside loop bodies of those packages:
+//
+//   - make(...) and new(...) calls;
+//   - pointer-producing composite literals (&T{...}) and slice/map
+//     composite literals;
+//   - function literals (closures capture by reference and allocate);
+//   - growing self-appends `s = append(s, ...)` whose slice has no
+//     visible capacity-sized make (make(T, n, c)) before the loop —
+//     append into a pre-sized buffer amortizes to zero allocations,
+//     append into a bare slice reallocates as it grows.
+//
+// The check is syntactic per loop nest (a node inside two nested loops
+// reports once) and does not cross closure boundaries: a closure's own
+// loops are analyzed when the literal's body is visited.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no heap allocations inside loop bodies of the hot packages (linalg, kpca, rank, feature)",
+	Run:  runHotAlloc,
+}
+
+// hotPackages are the package names whose loops carry the
+// allocation-free obligation.
+var hotPackages = map[string]bool{
+	"linalg":  true,
+	"kpca":    true,
+	"rank":    true,
+	"feature": true,
+}
+
+func runHotAlloc(p *Pass) {
+	if !hotPackages[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		funcBodies(f, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			seen := map[ast.Node]bool{}
+			forEachLoopBody(body, func(loop ast.Stmt, loopBody *ast.BlockStmt) {
+				checkLoopAllocs(p, body, loop, loopBody, seen)
+			})
+		})
+	}
+}
+
+// forEachLoopBody yields every for/range statement directly inside this
+// function body, including loops nested in other loops, but not loops
+// inside function literals (their enclosing body is visited separately).
+func forEachLoopBody(body *ast.BlockStmt, fn func(loop ast.Stmt, loopBody *ast.BlockStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			fn(n, n.Body)
+		case *ast.RangeStmt:
+			fn(n, n.Body)
+		}
+		return true
+	})
+}
+
+// checkLoopAllocs reports the allocation sites inside one loop body.
+// seen dedupes across nested loops within the same function.
+func checkLoopAllocs(p *Pass, fnBody *ast.BlockStmt, loop ast.Stmt, loopBody *ast.BlockStmt, seen map[ast.Node]bool) {
+	ast.Inspect(loopBody, func(n ast.Node) bool {
+		if seen[n] {
+			// Already reported by an inner loop visit; still recurse so
+			// unseen siblings inside are found.
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			seen[n] = true
+			p.Reportf(n.Pos(), "closure allocated inside a hot-path loop; hoist the function value out of the loop")
+			return false
+		case *ast.CallExpr:
+			if isBuiltin(p, n.Fun, "make") {
+				seen[n] = true
+				p.Reportf(n.Pos(), "make inside a hot-path loop allocates every iteration; hoist the buffer and reuse it")
+			} else if isBuiltin(p, n.Fun, "new") {
+				seen[n] = true
+				p.Reportf(n.Pos(), "new inside a hot-path loop allocates every iteration; hoist the value out of the loop")
+			}
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				seen[n] = true
+				seen[lit] = true // don't re-report the literal itself
+				p.Reportf(n.Pos(), "&composite-literal inside a hot-path loop escapes to the heap every iteration; hoist or reuse it")
+			}
+		case *ast.CompositeLit:
+			if allocatingLiteral(p, n) {
+				seen[n] = true
+				p.Reportf(n.Pos(), "slice/map literal inside a hot-path loop allocates every iteration; hoist it out of the loop")
+			}
+		case *ast.AssignStmt:
+			checkHotAppend(p, fnBody, loop, n, seen)
+		}
+		return true
+	})
+}
+
+// allocatingLiteral reports whether a composite literal's type makes it
+// a guaranteed heap/backing-array allocation: slices and maps. Struct
+// and array values can live on the stack and are not flagged.
+func allocatingLiteral(p *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := p.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// checkHotAppend flags growing self-appends in a hot loop when the
+// target slice has no capacity-sized make before the loop.
+func checkHotAppend(p *Pass, fnBody *ast.BlockStmt, loop ast.Stmt, as *ast.AssignStmt, seen map[ast.Node]bool) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		call, ok := as.Rhs[i].(*ast.CallExpr)
+		if !ok || seen[call] || !isBuiltin(p, call.Fun, "append") || len(call.Args) < 2 {
+			continue
+		}
+		target, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		src, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || src.Name != target.Name {
+			continue
+		}
+		obj := p.Info.Uses[target]
+		if obj == nil {
+			obj = p.Info.Defs[target]
+		}
+		if obj == nil || cappedMakeBefore(p, fnBody, loop.Pos(), obj) {
+			continue
+		}
+		seen[call] = true
+		p.Reportf(as.Pos(), "append to %q grows in a hot-path loop with no pre-sized make before the loop; preallocate with make(..., 0, n)", target.Name)
+	}
+}
+
+// cappedMakeBefore reports whether obj is assigned a make with an
+// explicit capacity (make(T, len, cap)) before pos in the function.
+func cappedMakeBefore(p *Pass, fnBody *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() >= pos {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if p.Info.Uses[id] != obj && p.Info.Defs[id] != obj {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if ok && isBuiltin(p, call.Fun, "make") && len(call.Args) >= 3 {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -19,6 +19,24 @@
 //	exporteddoc — exported declarations carry doc comments.
 //	noshadowbuiltin — no declarations that shadow predeclared
 //	              identifiers (len, cap, min, max, new, ...).
+//	maporder    — no map iteration feeding an order-sensitive sink
+//	              (returned slices, output, hashes) without a sort.
+//	faultsite   — fault-injection sites are compile-time strings,
+//	              uniquely named "pkg.op", covering every stage, and the
+//	              generated registry (internal/fault/sites_gen.go) is
+//	              current.
+//	versionbump — every exported kb.KB mutator bumps the mutation
+//	              version on all paths (rank.Cache soundness).
+//	hotalloc    — no heap allocations inside loop bodies of the declared
+//	              hot packages (linalg, kpca, rank, feature).
+//	lockhold    — no blocking operation on any path between Lock and
+//	              Unlock.
+//
+// The last five are dataflow analyzers: they walk a lightweight
+// intra-procedural CFG (cfg.go, dataflow.go) and a conservative static
+// call graph (callgraph.go) built over the same Loader results, so the
+// invariants PR 3–5 enforce dynamically (fingerprint A/Bs, chaos
+// coverage, benchmarks) are also proven at compile time.
 //
 // Analyzers run over packages loaded and type-checked once by the shared
 // Loader. Diagnostics render as "file:line:col: message [analyzer]" and
@@ -27,7 +45,9 @@
 //	//lint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // placed on the offending line or the line immediately above it. The
-// reason is mandatory: an unexplained suppression is itself a finding.
+// reason is mandatory: an unexplained suppression is itself a finding,
+// and so is a stale suppression that no longer suppresses anything when
+// the full suite runs (see Options.ReportStale).
 package lint
 
 import (
@@ -39,7 +59,9 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Exactly one of Run (per
+// package) and RunProgram (once, over every loaded package — for
+// whole-program invariants like fault-site uniqueness) is set.
 type Analyzer struct {
 	// Name is the short identifier used in diagnostics, -only filters and
 	// //lint:ignore comments.
@@ -48,6 +70,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunProgram inspects the whole loaded program at once.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -67,12 +91,42 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless a matching //lint:ignore
 // comment suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.ign.suppressed(p.Analyzer.Name, position) {
+	report(p.diags, p.ign, p.Analyzer.Name, p.Fset.Position(pos), format, args...)
+}
+
+// ProgramPass carries every loaded package through one whole-program
+// analyzer. CallGraph builds the conservative static call graph on
+// first use and memoizes it across analyzers.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	cg    **callGraph
+	diags *[]Diagnostic
+	ign   *ignoreIndex
+}
+
+// Reportf records a diagnostic at pos unless a matching //lint:ignore
+// comment suppresses it.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	report(p.diags, p.ign, p.Analyzer.Name, p.Fset.Position(pos), format, args...)
+}
+
+// CallGraph returns the program's static call graph, building it once.
+func (p *ProgramPass) CallGraph() *callGraph {
+	if *p.cg == nil {
+		*p.cg = buildCallGraph(p.Pkgs)
+	}
+	return *p.cg
+}
+
+func report(diags *[]Diagnostic, ign *ignoreIndex, analyzer string, position token.Position, format string, args ...any) {
+	if ign.suppressed(analyzer, position) {
 		return
 	}
-	*p.diags = append(*p.diags, Diagnostic{
-		Analyzer: p.Analyzer.Name,
+	*diags = append(*diags, Diagnostic{
+		Analyzer: analyzer,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -100,6 +154,11 @@ func All() []*Analyzer {
 		CtxFirst,
 		ExportedDoc,
 		NoShadowBuiltin,
+		MapOrder,
+		FaultSite,
+		VersionBump,
+		HotAlloc,
+		LockHold,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
@@ -140,15 +199,50 @@ func Names() []string {
 	return names
 }
 
+// Options tunes a suite run.
+type Options struct {
+	// ReportStale reports //lint:ignore directives that suppressed
+	// nothing during the run as findings. Only set it when every
+	// analyzer runs (no -only filter): under a filter, a directive for
+	// an unselected analyzer is silent by construction, not stale.
+	ReportStale bool
+}
+
+// Result is the outcome of a suite run.
+type Result struct {
+	// Diags are the findings, sorted by position.
+	Diags []Diagnostic
+	// Ignores counts every well-formed //lint:ignore directive seen in
+	// the analyzed sources — the quantity the cmd/driftlint -maxignores
+	// ratchet bounds.
+	Ignores int
+}
+
 // Run applies the analyzers to every loaded package and returns the
 // findings sorted by position. Suppressed diagnostics are dropped;
 // malformed //lint:ignore comments are themselves reported.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunSuite(pkgs, analyzers, Options{}).Diags
+}
+
+// RunSuite is Run with options and suppression accounting.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer, opts Options) Result {
 	var diags []Diagnostic
+	var fset *token.FileSet
+	var allFiles []*ast.File
 	for _, pkg := range pkgs {
-		ign := newIgnoreIndex(pkg.Fset, pkg.Files)
-		diags = append(diags, ign.malformed...)
+		fset = pkg.Fset
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	ign := newIgnoreIndex(fset, allFiles)
+	diags = append(diags, ign.malformed...)
+
+	var program []*Analyzer
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -159,6 +253,37 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				ign:      ign,
 			}
 			a.Run(pass)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			program = append(program, a)
+		}
+	}
+	if len(program) > 0 && len(pkgs) > 0 {
+		var cg *callGraph
+		for _, a := range program {
+			pass := &ProgramPass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				cg:       &cg,
+				diags:    &diags,
+				ign:      ign,
+			}
+			a.RunProgram(pass)
+		}
+	}
+	if opts.ReportStale {
+		for _, d := range ign.directives {
+			if d.used == 0 {
+				diags = append(diags, Diagnostic{
+					Analyzer: "lintdirective",
+					Pos:      d.pos,
+					Message: fmt.Sprintf("stale //lint:ignore %s: no such finding on this line anymore; delete the suppression",
+						strings.Join(d.names, ",")),
+				})
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -174,19 +299,29 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return Result{Diags: diags, Ignores: len(ign.directives)}
 }
 
-// ignoreIndex maps (file, line) to the analyzers suppressed there. A
-// //lint:ignore comment covers its own line and the line immediately
-// below it, matching the common trailing-comment and line-above styles.
+// directive is one well-formed //lint:ignore comment and its usage
+// count across a run.
+type directive struct {
+	pos   token.Position
+	names []string
+	used  int
+}
+
+// ignoreIndex maps (file, line) to the directives suppressing analyzers
+// there. A //lint:ignore comment covers its own line and the line
+// immediately below it, matching the common trailing-comment and
+// line-above styles.
 type ignoreIndex struct {
-	byLine    map[string]map[int]map[string]bool
-	malformed []Diagnostic
+	byLine     map[string]map[int][]*directive
+	directives []*directive
+	malformed  []Diagnostic
 }
 
 func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
-	idx := &ignoreIndex{byLine: map[string]map[int]map[string]bool{}}
+	idx := &ignoreIndex{byLine: map[string]map[int][]*directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -204,18 +339,15 @@ func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 					})
 					continue
 				}
+				d := &directive{pos: pos, names: strings.Split(fields[0], ",")}
+				idx.directives = append(idx.directives, d)
 				lines := idx.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
+					lines = map[int][]*directive{}
 					idx.byLine[pos.Filename] = lines
 				}
-				for _, name := range strings.Split(fields[0], ",") {
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						if lines[line] == nil {
-							lines[line] = map[string]bool{}
-						}
-						lines[line][name] = true
-					}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					lines[line] = append(lines[line], d)
 				}
 			}
 		}
@@ -224,5 +356,13 @@ func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 }
 
 func (idx *ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
-	return idx.byLine[pos.Filename][pos.Line][analyzer]
+	for _, d := range idx.byLine[pos.Filename][pos.Line] {
+		for _, name := range d.names {
+			if name == analyzer {
+				d.used++
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -134,6 +134,84 @@ func TestExportedDoc(t *testing.T)  { checkFixture(t, "exporteddoc", "exporteddo
 func TestNoShadowBuiltin(t *testing.T) {
 	checkFixture(t, "noshadowbuiltin", "noshadowbuiltin")
 }
+func TestMapOrder(t *testing.T)    { checkFixture(t, "maporder", "maporder") }
+func TestFaultSite(t *testing.T)   { checkFixture(t, "faultsite", "faultsite") }
+func TestVersionBump(t *testing.T) { checkFixture(t, "versionbump", "versionbump") }
+func TestHotAlloc(t *testing.T)    { checkFixture(t, "hotalloc", "hotalloc") }
+func TestLockHold(t *testing.T)    { checkFixture(t, "lockhold", "lockhold") }
+
+// TestFaultSiteProgram exercises the whole-program rules of faultsite —
+// per-stage coverage and registry freshness — over a three-package
+// fixture program: a covered stage, an uncovered stage, and a stale
+// registry package.
+func TestFaultSiteProgram(t *testing.T) {
+	loader := lint.NewLoader()
+	var pkgs []*lint.Package
+	for _, dir := range []struct{ sub, imp string }{
+		{"corpus", "test/faultprog/internal/corpus"},
+		{"extract", "test/faultprog/internal/extract"},
+		{"fault", "test/faultprog/fault"},
+	} {
+		abs, err := filepath.Abs(filepath.Join("testdata", "src", "faultprog", dir.sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(abs, dir.imp)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir.sub, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	var faultsite *lint.Analyzer
+	for _, a := range lint.All() {
+		if a.Name == "faultsite" {
+			faultsite = a
+		}
+	}
+	diags := lint.Run(pkgs, []*lint.Analyzer{faultsite})
+	var coverage, stale int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "registers no fault site"):
+			coverage++
+			if !strings.Contains(d.Message, "internal/extract") {
+				t.Errorf("coverage finding names wrong package: %s", d)
+			}
+		case strings.Contains(d.Message, "registry is stale"):
+			stale++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if coverage != 1 || stale != 1 {
+		t.Errorf("got %d coverage and %d stale findings, want 1 and 1: %v", coverage, stale, diags)
+	}
+
+	// The generator helpers see the same program: names resolve cleanly
+	// and render into a deterministic registry file.
+	names, err := lint.FaultSiteNames(pkgs)
+	if err != nil {
+		t.Fatalf("FaultSiteNames: %v", err)
+	}
+	if len(names) != 1 || names[0] != "corpus.shard" {
+		t.Errorf("FaultSiteNames = %v, want [corpus.shard]", names)
+	}
+	src := string(lint.GenerateSiteRegistry(names))
+	if !strings.Contains(src, "Code generated by driftlint -gensites") ||
+		!strings.Contains(src, "\"corpus.shard\",") ||
+		!strings.Contains(src, "package fault") {
+		t.Errorf("generated registry malformed:\n%s", src)
+	}
+}
+
+// TestFaultSiteNamesRejectsUnresolvable pins the generator's refusal to
+// emit a registry while any site is dynamic.
+func TestFaultSiteNamesRejectsUnresolvable(t *testing.T) {
+	pkg := loadFixture(t, "faultsite")
+	if _, err := lint.FaultSiteNames([]*lint.Package{pkg}); err == nil {
+		t.Fatal("expected an error for unresolvable fixture sites")
+	}
+}
 
 // TestCleanPackage runs the full suite over the clean fixture: a file
 // full of near-misses that must produce zero findings.

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHold walks each critical section — the CFG region between a
+// sync mutex Lock/RLock and the matching Unlock/RUnlock on the same
+// lock expression — and reports blocking operations inside it:
+//
+//   - channel sends and receives (except comm operations of a select
+//     that has a default clause, which never block);
+//   - sync.WaitGroup.Wait and time.Sleep;
+//   - I/O that can stall indefinitely: net and net/http calls,
+//     io.Copy/ReadAll/ReadFull, os file opens/reads/writes.
+//
+// Blocking while holding a lock turns a slow peer into a pile-up: in
+// serve, a stalled reload or singleflight wait under the state mutex
+// would freeze every endpoint at once. The existing code is careful to
+// release before waiting (singleflight waits on the WaitGroup after
+// Unlock, the rank cache receives from the ready channel after
+// Unlock); this analyzer keeps it that way.
+//
+// Scope and approximations: matching is intra-procedural and by lock
+// expression path (c.mu, s.state.mu) — calls that block transitively
+// are not seen, and a `defer mu.Unlock()` holds the lock to every
+// exit, so the walk covers the whole rest of the function, which is
+// exactly the defer's runtime behavior. sync.Cond.Wait releases the
+// associated locker while parked and is deliberately not flagged.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no blocking operation on any path between a mutex Lock and its Unlock",
+	Run:  runLockHold,
+}
+
+func runLockHold(p *Pass) {
+	for _, f := range p.Files {
+		funcBodies(f, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			checkLockSections(p, body)
+		})
+	}
+}
+
+// lockCall is one acquisition site in a function body.
+type lockCall struct {
+	call *ast.CallExpr
+	path string // rendered lock expression, e.g. "c.mu"
+	name string // "Lock" or "RLock"
+}
+
+func checkLockSections(p *Pass, body *ast.BlockStmt) {
+	locks := findLockCalls(p, body)
+	if len(locks) == 0 {
+		return
+	}
+	g := buildCFG(body)
+	exempt := nonBlockingCommOps(body)
+	deferred := deferredCalls(body)
+	for _, lk := range locks {
+		release := lk.releaseEvent(p, deferred)
+		start := blockContaining(g, lk.call)
+		if start == nil {
+			continue // lock taken in a defer: held during unwinding only
+		}
+		reported := map[ast.Node]bool{}
+		walkWhileHeld(g, start, lk.call, release, func(n ast.Node) {
+			desc, blocking := blockingOp(p, n, exempt)
+			if blocking && !reported[n] {
+				reported[n] = true
+				p.Reportf(n.Pos(), "%s while %s.%s is held (acquired at %s); release the lock before blocking", desc, lk.path, lk.name, p.Fset.Position(lk.call.Pos()))
+			}
+		})
+	}
+}
+
+// findLockCalls collects the sync Lock/RLock calls directly in this
+// function body (not inside nested function literals).
+func findLockCalls(p *Pass, body *ast.BlockStmt) []lockCall {
+	var out []lockCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, fn := syncMethod(p, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Name() == "Lock" || fn.Name() == "RLock" {
+			out = append(out, lockCall{call: call, path: exprString(sel.X), name: fn.Name()})
+		}
+		return true
+	})
+	return out
+}
+
+// releaseEvent matches the unlock paired with this acquisition: same
+// lock expression path, Unlock for Lock and RUnlock for RLock. A
+// `defer mu.Unlock()` is NOT a release at its registration point — it
+// runs at function exit, so the lock stays held for the rest of the
+// walk, which is exactly the defer's runtime behavior.
+func (lk lockCall) releaseEvent(p *Pass, deferred map[ast.Node]bool) eventFn {
+	want := "Unlock"
+	if lk.name == "RLock" {
+		want = "RUnlock"
+	}
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || deferred[n] {
+			return false
+		}
+		sel, fn := syncMethod(p, call)
+		return fn != nil && fn.Name() == want && exprString(sel.X) == lk.path
+	}
+}
+
+// deferredCalls collects the call expressions registered by defer
+// statements in this body (outside nested function literals).
+func deferredCalls(body *ast.BlockStmt) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			out[ds.Call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// syncMethod resolves a call to a method declared in package sync and
+// returns its selector and func object, or nils.
+func syncMethod(p *Pass, call *ast.CallExpr) (*ast.SelectorExpr, *types.Func) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, nil
+	}
+	return sel, fn
+}
+
+// blockContaining locates the CFG block whose node list contains the
+// call (by node identity). Calls inside defer statements return nil —
+// they run at unwinding, outside the section the Lock starts.
+func blockContaining(g *cfg, call *ast.CallExpr) *cfgBlock {
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				continue
+			}
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if _, isLit := x.(*ast.FuncLit); isLit {
+					return false
+				}
+				if x == call {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// nonBlockingCommOps collects every node inside the comm clauses of
+// selects that carry a default: those sends and receives never block.
+func nonBlockingCommOps(body *ast.BlockStmt) map[ast.Node]bool {
+	exempt := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cc := range sel.Body.List {
+			if cc.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			comm := cc.(*ast.CommClause).Comm
+			if comm == nil {
+				continue
+			}
+			ast.Inspect(comm, func(x ast.Node) bool {
+				if x != nil {
+					exempt[x] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return exempt
+}
+
+// blockingFuncs maps "pkgpath.Func" names of package-level functions
+// that can block indefinitely.
+var blockingFuncs = map[string]bool{
+	"time.Sleep":   true,
+	"io.Copy":      true,
+	"io.CopyN":     true,
+	"io.ReadAll":   true,
+	"io.ReadFull":  true,
+	"os.Open":      true,
+	"os.OpenFile":  true,
+	"os.Create":    true,
+	"os.ReadFile":  true,
+	"os.WriteFile": true,
+	"os.ReadDir":   true,
+}
+
+// blockingFileMethods are *os.File methods that hit the disk.
+var blockingFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"Sync": true, "ReadFrom": true, "WriteTo": true,
+}
+
+// blockingOp classifies a node as a potentially indefinitely-blocking
+// operation, returning a short description for the diagnostic.
+func blockingOp(p *Pass, n ast.Node, exempt map[ast.Node]bool) (string, bool) {
+	if exempt[n] {
+		return "", false
+	}
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return "channel send", true
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			return "channel receive", true
+		}
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", false
+		}
+		pkgPath := fn.Pkg().Path()
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			switch {
+			case pkgPath == "sync" && fn.Name() == "Wait" && recvNamed(sig) == "WaitGroup":
+				return "sync.WaitGroup.Wait", true
+			case pkgPath == "os" && recvNamed(sig) == "File" && blockingFileMethods[fn.Name()]:
+				return "os.File." + fn.Name(), true
+			case pkgPath == "net" || pkgPath == "net/http" || strings.HasPrefix(pkgPath, "net/"):
+				return pkgPath + " call", true
+			}
+			return "", false
+		}
+		if blockingFuncs[pkgPath+"."+fn.Name()] {
+			return pkgPath + "." + fn.Name(), true
+		}
+		if pkgPath == "net" || pkgPath == "net/http" || strings.HasPrefix(pkgPath, "net/") {
+			return pkgPath + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// recvNamed returns the name of a method receiver's named type.
+func recvNamed(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` loops over maps whose bodies feed an
+// order-sensitive sink without the result being sorted afterwards. Map
+// iteration order is randomized per run; a map-range that appends to a
+// slice which escapes unsorted, or that writes directly to output or a
+// hash, makes the program's observable bytes depend on that order —
+// the exact class of nondeterminism the serial-vs-parallel fingerprint
+// A/B catches at runtime, caught here at compile time instead.
+//
+// Sinks, per iteration body:
+//
+//   - self-append `s = append(s, ...)`: a finding unless a call that
+//     sorts s (sort.*, slices.Sort*, or a project sortXxx helper taking
+//     s) appears later in the same function;
+//   - direct output: fmt.Print/Fprint families, io.WriteString, any
+//     Write/WriteString/WriteByte/WriteRune method call (writers,
+//     hashes, string builders);
+//   - channel sends.
+//
+// Commutative uses — counters, sums, map-to-map copies, min/max — do
+// not depend on order and are not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration must not feed order-sensitive sinks (slices, output, hashes) unsorted",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if _, body := enclosingFunc(n); body != nil {
+				checkMapRanges(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFunc narrows the inspection to function bodies so the sort
+// search has a scope to run in.
+func enclosingFunc(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n, n.Body
+	case *ast.FuncLit:
+		return n, n.Body
+	}
+	return nil, nil
+}
+
+// checkMapRanges finds map ranges directly inside this function body
+// (closures are their own scope and handled by their own visit). The
+// seen set dedupes sinks that sit inside nested map ranges: one
+// order-dependent statement is one finding, however many map loops
+// enclose it.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	seen := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(p, body, rng, seen)
+		return true
+	})
+}
+
+func checkMapRangeBody(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, seen map[ast.Node]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if seen[n] {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			seen[n] = true
+			p.Reportf(n.Pos(), "channel send inside map iteration leaks map order; collect and sort first")
+		case *ast.CallExpr:
+			if name, ok := outputCall(p, n); ok {
+				seen[n] = true
+				p.Reportf(n.Pos(), "%s inside map iteration leaks map order into the output; collect keys and sort first", name)
+			}
+		case *ast.AssignStmt:
+			seen[n] = true
+			checkSelfAppend(p, fnBody, rng, n)
+		}
+		return true
+	})
+}
+
+// checkSelfAppend flags `s = append(s, ...)` in a map-range body when s
+// is never sorted later in the function.
+func checkSelfAppend(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		call, ok := as.Rhs[i].(*ast.CallExpr)
+		if !ok || !isBuiltin(p, call.Fun, "append") || len(call.Args) == 0 {
+			continue
+		}
+		target, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			// Append into a field or index expression: order-dependent and
+			// not sortable by a later local call we can see; flag it.
+			p.Reportf(as.Pos(), "append into %s inside map iteration depends on map order; collect into a local slice and sort", exprString(lhs))
+			continue
+		}
+		src, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || src.Name != target.Name {
+			continue // not the growing self-append shape
+		}
+		obj := p.Info.Uses[target]
+		if obj == nil {
+			obj = p.Info.Defs[target]
+		}
+		if obj == nil {
+			continue
+		}
+		if sortedAfter(p, fnBody, rng.End(), obj) {
+			continue
+		}
+		p.Reportf(as.Pos(), "slice %q is appended to in map-iteration order and never sorted in this function; sort it or iterate sorted keys", target.Name)
+	}
+}
+
+// sortedAfter reports whether, after pos, the function calls a sorting
+// function with the slice (by object identity) among its arguments.
+// Recognized sorters: anything in package sort or slices, and local
+// helpers whose name starts with "sort" (the kb.sortPairs idiom).
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if !isSortCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(p *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			path := fn.Pkg().Path()
+			if path == "sort" || path == "slices" {
+				return true
+			}
+		}
+		return strings.HasPrefix(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.HasPrefix(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+// outputCall recognizes calls that immediately externalize bytes: fmt
+// print families, io.WriteString, and Write* methods on any receiver
+// (io.Writer implementations, hash.Hash, strings.Builder).
+func outputCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "fmt":
+			if strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint") {
+				return "fmt." + fn.Name(), true
+			}
+		case "io":
+			if fn.Name() == "WriteString" {
+				return "io.WriteString", true
+			}
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println":
+			return exprString(sel), true
+		}
+	}
+	return "", false
+}
+
+// isBuiltin reports whether fun names the given predeclared function.
+func isBuiltin(p *Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// exprString renders a short source-ish form of simple expressions for
+// messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "expression"
+}

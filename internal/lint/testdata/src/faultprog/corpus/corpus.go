@@ -1,0 +1,10 @@
+// Package corpus (fixture) is a covered stage: it registers one fault
+// site, satisfying the faultsite coverage rule.
+package corpus
+
+import "driftclean/internal/fault"
+
+// Shard exercises the one chaos seam of this fixture stage.
+func Shard(inj *fault.Injector) error {
+	return inj.Hit("corpus.shard")
+}

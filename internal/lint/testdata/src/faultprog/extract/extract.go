@@ -1,0 +1,6 @@
+// Package extract (fixture) deliberately registers no fault site: the
+// faultsite coverage rule must flag the whole package.
+package extract
+
+// Resolve is stage work with no chaos seam.
+func Resolve() int { return 1 }

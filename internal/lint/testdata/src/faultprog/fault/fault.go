@@ -1,0 +1,6 @@
+// Package fault (fixture) stands in for the generated site registry:
+// its Registry is deliberately stale so the freshness check fires.
+package fault
+
+// Registry lists one real site and one that no longer exists.
+var Registry = []string{"corpus.shard", "stale.gone"}

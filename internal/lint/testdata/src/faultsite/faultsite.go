@@ -1,0 +1,62 @@
+// Package fixture exercises the faultsite analyzer: sites must be
+// compile-time strings named "pkg.operation" with the package prefix
+// matching the registering package, and globally unique.
+package fixture
+
+import (
+	"fmt"
+
+	"driftclean/internal/fault"
+)
+
+func literals(inj *fault.Injector) error {
+	if err := inj.Hit("fixture.ok"); err != nil {
+		return err
+	}
+	inj.Check("fixture.checked")
+	return inj.Hit("fixture." + "concat") // constant concatenation resolves
+}
+
+func badNames(inj *fault.Injector) {
+	inj.Check("Fixture.upper")    // want `violates the "pkg\.operation" naming convention`
+	inj.Check("nodot")            // want `violates the "pkg\.operation" naming convention`
+	inj.Check("other.elsewhere")  // want `registered in package fixture; the prefix must match`
+	inj.Check("fixture.Op.extra") // want `violates the "pkg\.operation" naming convention`
+}
+
+func dup(inj *fault.Injector) {
+	inj.Check("fixture.dup")
+	inj.Check("fixture.dup") // want `fault site "fixture\.dup" is also registered at .*; site names must be globally unique`
+}
+
+func dynamic(inj *fault.Injector, i int) {
+	inj.Check(fmt.Sprintf("fixture.%d", i)) // want `not resolvable to compile-time strings`
+}
+
+// orphanParam is never called, so its site parameter has no bindings.
+func orphanParam(inj *fault.Injector, site string) {
+	inj.Check(site) // want `not resolvable to compile-time strings`
+}
+
+// helper's site parameter is bound at each call site; the analyzer
+// resolves it to the union of the callers' constant arguments.
+func helper(inj *fault.Injector, op string) {
+	inj.Check("fixture." + op)
+}
+
+func callsHelper(inj *fault.Injector) {
+	helper(inj, "viaA")
+	helper(inj, "viaB")
+}
+
+func inClosure(inj *fault.Injector) {
+	run := func() {
+		inj.Check("fixture.closure")
+	}
+	run()
+}
+
+func suppressed(inj *fault.Injector, site string) {
+	//lint:ignore faultsite demo of an intentionally dynamic site
+	inj.Check(site)
+}

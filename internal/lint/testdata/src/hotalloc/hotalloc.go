@@ -1,0 +1,87 @@
+// Package linalg (fixture) exercises the hotalloc analyzer: the
+// package name is one of the declared hot packages, so loop bodies must
+// stay allocation-free.
+package linalg
+
+type vec struct {
+	data []float64
+}
+
+func perIteration(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 8) // want `make inside a hot-path loop`
+		_ = buf
+		p := new(vec) // want `new inside a hot-path loop`
+		_ = p
+		v := &vec{} // want `&composite-literal inside a hot-path loop`
+		_ = v
+		s := []int{1, 2, 3} // want `slice/map literal inside a hot-path loop`
+		_ = s
+		m := map[int]int{i: i} // want `slice/map literal inside a hot-path loop`
+		_ = m
+		f := func() int { return i } // want `closure allocated inside a hot-path loop`
+		_ = f
+		out = append(out, float64(i)) // want `append to "out" grows in a hot-path loop with no pre-sized make`
+	}
+	return out
+}
+
+func preallocated(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // pre-sized make before the loop: amortized zero allocations
+	}
+	return out
+}
+
+func hoisted(n int) float64 {
+	buf := make([]float64, 8)
+	v := vec{data: buf}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		buf[i%8] = float64(i) // reuse, no allocation
+		w := vec{data: buf}   // struct value: stack-friendly, not flagged
+		sum += w.data[0] + v.data[0]
+	}
+	return sum
+}
+
+func nested(m, n int) int {
+	total := 0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			row := make([]int, 4) // want `make inside a hot-path loop`
+			total += row[0] + i + j
+		}
+	}
+	return total
+}
+
+func inClosure(n int) func() []int {
+	return func() []int {
+		var out []int
+		for i := 0; i < n; i++ {
+			out = append(out, i) // want `append to "out" grows in a hot-path loop with no pre-sized make`
+		}
+		return out
+	}
+}
+
+func rangeLoop(src []float64) float64 {
+	acc := 0.0
+	for _, v := range src {
+		acc += v // arithmetic only: clean
+	}
+	return acc
+}
+
+func suppressed(n int) []byte {
+	out := make([]byte, 0, 64)
+	for i := 0; i < n; i++ {
+		//lint:ignore hotalloc cold setup loop, runs once per process
+		tmp := make([]byte, 16)
+		out = append(out, tmp...) // pre-sized make before the loop: clean
+	}
+	return out
+}

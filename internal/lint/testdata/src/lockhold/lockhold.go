@@ -1,0 +1,107 @@
+// Package fixture exercises the lockhold analyzer: no blocking
+// operation may execute while a sync mutex is held.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	wg    sync.WaitGroup
+	ch    chan int
+	n     int
+}
+
+func sendUnderLock(b *box) {
+	b.mu.Lock()
+	b.ch <- 1 // want `channel send while b\.mu\.Lock is held`
+	b.mu.Unlock()
+}
+
+func recvUnderLock(b *box) int {
+	b.mu.Lock()
+	v := <-b.ch // want `channel receive while b\.mu\.Lock is held`
+	b.mu.Unlock()
+	return v
+}
+
+func releasedFirst(b *box) int {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return <-b.ch // lock already released: clean
+}
+
+func deferHoldsToExit(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while b\.mu\.Lock is held`
+	b.n++
+}
+
+func waitUnderLock(b *box) {
+	b.mu.Lock()
+	b.wg.Wait() // want `sync\.WaitGroup\.Wait while b\.mu\.Lock is held`
+	b.mu.Unlock()
+}
+
+func waitAfterUnlock(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.wg.Wait() // the singleflight idiom: wait after releasing, clean
+}
+
+func nonBlockingSelect(b *box) {
+	b.mu.Lock()
+	select {
+	case b.ch <- b.n: // has a default: never blocks, clean
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func blockingSelect(b *box) {
+	b.mu.Lock()
+	select {
+	case b.ch <- b.n: // want `channel send while b\.mu\.Lock is held`
+	case v := <-b.ch: // want `channel receive while b\.mu\.Lock is held`
+		b.n = v
+	}
+	b.mu.Unlock()
+}
+
+func readLock(b *box) {
+	b.state.RLock()
+	<-b.ch // want `channel receive while b\.state\.RLock is held`
+	b.state.RUnlock()
+}
+
+func distinctLocks(b *box, other *sync.Mutex) {
+	b.mu.Lock()
+	other.Lock()
+	other.Unlock()
+	// other's unlock does not release b.mu:
+	<-b.ch // want `channel receive while b\.mu\.Lock is held`
+	b.mu.Unlock()
+}
+
+func branchRelease(b *box, done bool) {
+	b.mu.Lock()
+	if done {
+		b.mu.Unlock()
+		return
+	}
+	<-b.ch // want `channel receive while b\.mu\.Lock is held`
+	b.mu.Unlock()
+}
+
+func suppressed(b *box) {
+	b.mu.Lock()
+	//lint:ignore lockhold startup barrier; contended only before serving begins
+	<-b.ch
+	b.mu.Unlock()
+}

@@ -1,0 +1,122 @@
+// Package fixture exercises the maporder analyzer: map iteration must
+// not feed order-sensitive sinks (escaping slices, output, hashes,
+// channels) without a sort.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice "keys" is appended to in map-iteration order and never sorted`
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: clean
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedBySlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted by a sort.Slice call: clean
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+type pair struct {
+	k string
+	n int
+}
+
+// sortPairs is the project-local helper idiom the analyzer recognizes
+// by its name prefix.
+func sortPairs(ps []pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+}
+
+func localSortHelper(m map[string]int) []pair {
+	var ps []pair
+	for k, n := range m {
+		ps = append(ps, pair{k: k, n: n}) // sorted by the sortPairs helper: clean
+	}
+	sortPairs(ps)
+	return ps
+}
+
+func sortBeforeOnly(m map[string]int) []string {
+	keys := []string{"seed"}
+	sort.Strings(keys)
+	for k := range m {
+		keys = append(keys, k) // want `slice "keys" is appended to in map-iteration order and never sorted`
+	}
+	return keys
+}
+
+func printsDirectly(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration leaks map order`
+	}
+}
+
+func buildsString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside map iteration leaks map order`
+	}
+	return b.String()
+}
+
+func sendsOnChannel(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration leaks map order`
+	}
+}
+
+type sink struct {
+	rows []string
+}
+
+func appendsIntoField(m map[string]int, s *sink) {
+	for k := range m {
+		s.rows = append(s.rows, k) // want `append into s\.rows inside map iteration depends on map order`
+	}
+}
+
+func commutative(m map[string]int) (int, map[string]int) {
+	total := 0
+	copied := make(map[string]int, len(m))
+	for k, v := range m {
+		total += v    // order-independent: clean
+		copied[k] = v // map-to-map copy: clean
+	}
+	return total, copied
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // slice iteration is ordered: clean
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore maporder caller sorts; this helper feeds a set
+		keys = append(keys, k)
+	}
+	return keys
+}

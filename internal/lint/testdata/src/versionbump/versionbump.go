@@ -1,0 +1,119 @@
+// Package fixture exercises the versionbump analyzer: every exported
+// method of a version-stamped type that mutates receiver state must
+// bump the version on every mutating path.
+package fixture
+
+type entry struct {
+	n     int
+	names []string
+}
+
+// Store is version-stamped: it has an unexported unsigned version field.
+type Store struct {
+	version uint64
+	counts  map[string]*entry
+	order   []string
+}
+
+// Add mutates and bumps: clean.
+func (s *Store) Add(k string) {
+	s.version++
+	s.counts[k] = &entry{n: 1}
+	s.order = append(s.order, k)
+}
+
+// Put mutates with no bump anywhere.
+func (s *Store) Put(k string) {
+	s.counts[k] = &entry{} // want `Put mutates receiver state on a path with no s\.version bump`
+}
+
+// MaybeBump bumps only on one branch; the fallthrough path mutates
+// without a bump.
+func (s *Store) MaybeBump(k string, b bool) {
+	s.counts[k] = &entry{} // want `MaybeBump mutates receiver state on a path with no s\.version bump`
+	if b {
+		s.version++
+	}
+}
+
+// Drop bumps after the mutation on every path: clean (the early return
+// happens before any mutation).
+func (s *Store) Drop(k string) {
+	if _, ok := s.counts[k]; !ok {
+		return
+	}
+	delete(s.counts, k)
+	s.version++
+}
+
+// Alias mutates through a local bound to a receiver map entry — the
+// taint analysis must see through the alias.
+func (s *Store) Alias(k string) {
+	e := s.counts[k]
+	e.n++ // want `Alias mutates receiver state on a path with no s\.version bump`
+}
+
+// AliasBumped is the same aliased write with a bump: clean.
+func (s *Store) AliasBumped(k string) {
+	e := s.counts[k]
+	e.n++
+	s.version++
+}
+
+// put is an unexported helper: no obligation of its own.
+func (s *Store) put(k string) {
+	s.counts[k] = &entry{}
+}
+
+// touch is the bump helper.
+func (s *Store) touch() {
+	s.version++
+}
+
+// Via mutates through the unexported helper and never bumps.
+func (s *Store) Via(k string) {
+	s.put(k) // want `Via mutates receiver state on a path with no s\.version bump`
+}
+
+// ViaBumped mutates through the helper and bumps through a helper too:
+// clean.
+func (s *Store) ViaBumped(k string) {
+	s.put(k)
+	s.touch()
+}
+
+// Get only reads: clean.
+func (s *Store) Get(k string) int {
+	if e, ok := s.counts[k]; ok {
+		return e.n
+	}
+	return 0
+}
+
+// Snapshot copies values out; the struct copy breaks the alias, so
+// writing the copy is clean.
+func (s *Store) Snapshot() []entry {
+	out := make([]entry, 0, len(s.order))
+	for _, k := range s.order {
+		e := *s.counts[k]
+		e.n *= 2
+		out = append(out, e)
+	}
+	return out
+}
+
+// Plain has no version field: its mutators carry no obligation.
+type Plain struct {
+	m map[string]int
+}
+
+// Set mutates an unversioned type: clean.
+func (p *Plain) Set(k string) {
+	p.m[k] = 1
+}
+
+// Suppressed shows the escape hatch for a justified exception.
+func (s *Store) Suppressed(k string) {
+	//lint:ignore versionbump fixture demonstrates an acknowledged stale-cache hazard
+	s.counts[k] = &entry{}
+}

@@ -1,0 +1,389 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VersionBump is the static proof obligation behind the random-walk
+// score cache's soundness argument (DESIGN.md §8): cache entries are
+// keyed on (KB pointer, kb.Version()), which is only sound if every
+// mutation of a version-stamped value is accompanied by a version bump.
+// The analyzer applies to any struct declaring an unexported `version`
+// field of unsigned-integer type (kb.KB today) and checks:
+//
+//   - every exported method whose body may write receiver state must
+//     execute a version bump (a write to recv.version, directly or via
+//     a same-type helper that bumps) on EVERY path that performs such a
+//     mutation;
+//   - unexported methods carry no obligation of their own: they are
+//     reachable only through exported mutators, which the rule covers —
+//     a call to an unexported mutating helper counts as a mutation at
+//     the call site.
+//
+// "Writes receiver state" is computed with a small intra-procedural
+// taint analysis: the receiver taints every local bound to one of its
+// reference-typed projections (`info := kb.pairs[p]`, range values over
+// receiver slices, taken addresses), and a write through any tainted
+// root — field stores, element stores, deletes, inc/dec — is a
+// mutation. Rebinding a tainted local is not. Reference-typed
+// *parameters* that alias receiver state are not tracked (no
+// interprocedural aliasing); in practice such helpers also touch the
+// receiver directly and are caught through that access.
+//
+// The check itself is a path query over the function's CFG: a mutation
+// node M is a finding iff some entry→M prefix executes no bump AND some
+// M→exit suffix executes no bump — i.e. a complete execution exists
+// that mutates without bumping.
+var VersionBump = &Analyzer{
+	Name: "versionbump",
+	Doc:  "exported mutators of version-stamped types must bump the version on all mutating paths",
+	Run:  runVersionBump,
+}
+
+func runVersionBump(p *Pass) {
+	stamped := versionedTypes(p)
+	if len(stamped) == 0 {
+		return
+	}
+	// First pass: classify every method of a versioned type as directly
+	// mutating and/or directly bumping.
+	kind := map[*types.Func]methodFacts{}
+	var methods []versionedMethod
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			recvType := namedRecvType(fn)
+			if recvType == nil || !stamped[recvType] {
+				continue
+			}
+			recvObj := recvVarObj(p, fd)
+			if recvObj == nil {
+				continue
+			}
+			m := versionedMethod{fn: fn, decl: fd, recv: recvObj}
+			m.tainted = taintedLocals(p, fd, recvObj)
+			facts := methodFacts{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if isVersionWrite(p, n, recvObj) {
+					facts.bumps = true
+					return true
+				}
+				if mutatesState(p, n, m.tainted) {
+					facts.mutates = true
+				}
+				return true
+			})
+			kind[fn] = facts
+			methods = append(methods, m)
+		}
+	}
+	// Propagate mutation through same-type method calls to a fixpoint:
+	// calling a mutating helper mutates the caller too.
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if kind[m.fn].mutates {
+				continue
+			}
+			found := false
+			ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if callee := sameTypeCallee(p, n, m.recv); callee != nil && kind[callee].mutates {
+					found = true
+				}
+				return true
+			})
+			if found {
+				f := kind[m.fn]
+				f.mutates = true
+				kind[m.fn] = f
+				changed = true
+			}
+		}
+	}
+	// Second pass: exported mutators must bump on every mutating path.
+	for _, m := range methods {
+		if !m.fn.Exported() || !kind[m.fn].mutates {
+			continue
+		}
+		checkBumpPaths(p, m, kind)
+	}
+}
+
+type methodFacts struct {
+	mutates bool // writes receiver state (directly, after propagation)
+	bumps   bool // writes recv.version directly
+}
+
+type versionedMethod struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	recv    *types.Var
+	tainted map[types.Object]bool
+}
+
+// checkBumpPaths runs the CFG path query for one exported mutator.
+func checkBumpPaths(p *Pass, m versionedMethod, kind map[*types.Func]methodFacts) {
+	g := buildCFG(m.decl.Body)
+	bump := func(n ast.Node) bool {
+		if isVersionWrite(p, n, m.recv) {
+			return true
+		}
+		callee := sameTypeCallee(p, n, m.recv)
+		return callee != nil && kind[callee].bumps
+	}
+	mutation := func(n ast.Node) bool {
+		if mutatesState(p, n, m.tainted) {
+			return true
+		}
+		callee := sameTypeCallee(p, n, m.recv)
+		return callee != nil && kind[callee].mutates
+	}
+	entryClean := reachesStartWithout(g, bump)
+	exitClean := reachesExitWithout(g, bump)
+	for _, blk := range g.blocks {
+		reported := false
+		blk.forEachNode(func(n ast.Node) bool {
+			if reported || !mutation(n) {
+				return true
+			}
+			before, after := blk.eventsAround(n, bump)
+			unbumpedBefore := entryClean[blk.index] && !before
+			unbumpedAfter := exitClean[blk.index] && !after
+			if unbumpedBefore && unbumpedAfter {
+				p.Reportf(n.Pos(), "%s mutates receiver state on a path with no %s.version bump; version-keyed caches would go stale", m.fn.Name(), m.recv.Name())
+				reported = true // one finding per block is enough
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// taintedLocals computes the receiver's alias set: locals bound to
+// reference-typed projections of the receiver, to a fixpoint.
+func taintedLocals(p *Pass, fd *ast.FuncDecl, recv *types.Var) map[types.Object]bool {
+	tainted := map[types.Object]bool{types.Object(recv): true}
+	rooted := func(e ast.Expr) bool { return tainted[rootObj(p, e)] }
+	for changed := true; changed; {
+		changed = false
+		add := func(id *ast.Ident) {
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj != nil && !tainted[obj] {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true // multi-value call results: not tracked
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					rhs := ast.Unparen(n.Rhs[i])
+					if isReferenceType(p.Info.Types[rhs].Type) && rooted(rhs) {
+						add(id)
+					}
+				}
+			case *ast.RangeStmt:
+				if !rooted(n.X) || n.Value == nil {
+					return true
+				}
+				if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+					if isReferenceType(p.Info.Types[n.Value].Type) {
+						add(id)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// isReferenceType reports whether writing through a value of this type
+// can reach shared state: pointers, maps, slices and channels qualify;
+// value copies (structs, strings, numbers) do not.
+func isReferenceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// versionedTypes collects the package's named struct types that declare
+// an unexported `version` field of unsigned-integer type.
+func versionedTypes(p *Pass) map[*types.Named]bool {
+	out := map[*types.Named]bool{}
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() != "version" || f.Exported() {
+				continue
+			}
+			if basic, ok := f.Type().(*types.Basic); ok && basic.Info()&types.IsUnsigned != 0 {
+				out[named] = true
+			}
+		}
+	}
+	return out
+}
+
+// namedRecvType unwraps a method's receiver to its named type.
+func namedRecvType(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// recvVarObj returns the receiver variable's object, or nil for an
+// anonymous receiver (which can never be mutated through).
+func recvVarObj(p *Pass, fd *ast.FuncDecl) *types.Var {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := p.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// isVersionWrite reports whether n writes recv.version (assignment or
+// increment/decrement).
+func isVersionWrite(p *Pass, n ast.Node, recv *types.Var) bool {
+	var lhs []ast.Expr
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		lhs = n.Lhs
+	case *ast.IncDecStmt:
+		lhs = []ast.Expr{n.X}
+	default:
+		return false
+	}
+	for _, e := range lhs {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "version" {
+			continue
+		}
+		if rootObj(p, sel.X) == types.Object(recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutatesState reports whether n writes state reachable from the
+// receiver: an assignment or inc/dec through a tainted root (but not a
+// plain rebinding of a tainted local), or delete() on a tainted map.
+// Writes to recv.version itself are bumps, not mutations.
+func mutatesState(p *Pass, n ast.Node, tainted map[types.Object]bool) bool {
+	stateWrite := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if _, isIdent := e.(*ast.Ident); isIdent {
+			return false // rebinding a local, not writing through it
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "version" {
+			return false // the bump, classified separately
+		}
+		return tainted[rootObj(p, e)]
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, e := range n.Lhs {
+			if stateWrite(e) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return stateWrite(n.X)
+	case *ast.CallExpr:
+		if isBuiltin(p, n.Fun, "delete") && len(n.Args) > 0 {
+			return tainted[rootObj(p, n.Args[0])]
+		}
+	}
+	return false
+}
+
+// rootObj unwraps selectors, indexes, stars and address-of down to the
+// root identifier's object (nil when the root is not a plain
+// identifier).
+func rootObj(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			if obj == nil {
+				obj = p.Info.Defs[x]
+			}
+			return obj
+		default:
+			return nil
+		}
+	}
+}
+
+// sameTypeCallee resolves n as a method call recv.m(...) on the same
+// receiver object and returns the callee, or nil.
+func sameTypeCallee(p *Pass, n ast.Node, recv *types.Var) *types.Func {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if rootObj(p, sel.X) != types.Object(recv) {
+		return nil
+	}
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	return fn
+}

@@ -82,6 +82,7 @@ func Analyze(k *kb.KB, cfg Config) *Analysis {
 	byInstance := map[string][]string{}
 	for _, c := range a.concepts {
 		for e := range a.core[c] {
+			//lint:ignore maporder each byInstance list accumulates c in a.concepts slice order; the map range only selects which key receives it
 			byInstance[e] = append(byInstance[e], c)
 		}
 	}
@@ -145,6 +146,7 @@ func Analyze(k *kb.KB, cfg Config) *Analysis {
 		}
 		for ex := range set {
 			if _, ok := have[ex]; !ok {
+				//lint:ignore maporder every a.exclusive list is sort.Strings-ed below before anyone reads it
 				a.exclusive[c] = append(a.exclusive[c], ex)
 			}
 		}

@@ -32,7 +32,10 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	kb      *kb.KB
-	version uint64
+	// kbVersion mirrors kb.Version() at the last sync point; it is a
+	// staleness stamp for the bound KB, not a mutation counter of the
+	// cache itself.
+	kbVersion uint64
 }
 
 type cacheEntry struct {
@@ -65,6 +68,7 @@ func (c *Cache) Scores(k *kb.KB, concept string) Scores {
 		c.syncLocked(k)
 		e, exists := c.entries[concept]
 		if !exists {
+			//lint:ignore hotalloc the miss path allocates exactly one entry per concept per KB version; the loop only repeats after a leader panic
 			e = &cacheEntry{ready: make(chan struct{})}
 			c.entries[concept] = e
 			c.mu.Unlock()
@@ -127,7 +131,7 @@ func (c *Cache) Invalidate(k *kb.KB, concepts ...string) {
 	for _, concept := range concepts {
 		delete(c.entries, concept)
 	}
-	c.version = k.Version()
+	c.kbVersion = k.Version()
 }
 
 // Len returns the number of cached concept entries (including in-flight
@@ -141,12 +145,12 @@ func (c *Cache) Len() int {
 // syncLocked rebinds the cache when the KB pointer or version moved in a
 // way Invalidate was not told about, dropping every entry. c.mu held.
 func (c *Cache) syncLocked(k *kb.KB) {
-	if c.kb == k && c.version == k.Version() {
+	if c.kb == k && c.kbVersion == k.Version() {
 		return
 	}
 	if len(c.entries) > 0 {
 		c.entries = make(map[string]*cacheEntry)
 	}
 	c.kb = k
-	c.version = k.Version()
+	c.kbVersion = k.Version()
 }

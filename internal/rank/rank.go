@@ -88,7 +88,9 @@ func BuildGraph(k *kb.KB, concept string) *Graph {
 	trigSets := make(map[int]map[string]struct{})
 	counts := make([]float64, n) // scratch: weight accumulator per target
 	touched := make([]int, 0, 16)
-	var outFlat []Edge
+	// Edge counts are ~constant-degree in practice; 4n absorbs the first
+	// few growth doublings without over-reserving on sparse graphs.
+	outFlat := make([]Edge, 0, 4*n)
 	outStart := make([]int, n+1)
 	inDeg := make([]int, n)
 	for u, e := range nodes {
@@ -100,6 +102,7 @@ func BuildGraph(k *kb.KB, concept string) *Graph {
 			}
 			ts, ok := trigSets[exID]
 			if !ok {
+				//lint:ignore hotalloc memo miss path: each extraction's set is built once and reused on every later visit
 				ts = make(map[string]struct{}, len(ex.Triggers))
 				for _, t := range ex.Triggers {
 					ts[t] = struct{}{}

@@ -23,8 +23,11 @@ go build -o "$(mktemp -d)/driftserve" ./cmd/driftserve
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> driftlint ./..."
-go run ./cmd/driftlint ./...
+# The suppression budget is a ratchet: 6 //lint:ignore directives are
+# reviewed and justified in-source today. Lowering the number is always
+# fine; raising it is a reviewed decision that belongs in this diff.
+echo "==> driftlint ./... (suppression budget: 6)"
+go run ./cmd/driftlint -maxignores 6 ./...
 
 echo "==> driftlint (serving packages)"
 go run ./cmd/driftlint ./internal/snapshot/... ./internal/serve/... ./cmd/driftserve/... ./cmd/kbquery/...
@@ -41,8 +44,9 @@ go test -race ./internal/fault
 go test -race -run 'TestChaosDisabledFaultsAreNoOp|TestChaosPanicSurfacesAsReportError' .
 go test -race -run 'TestReload|TestQuery' ./internal/serve ./cmd/driftserve
 
-echo "==> fuzz seed corpus (hearst parser invariants, seeds only)"
+echo "==> fuzz seed corpus (hearst parser + lint CFG invariants, seeds only)"
 go test -run 'FuzzParseSentence' ./internal/hearst
+go test -run 'FuzzCFG' ./internal/lint
 
 echo "==> go test -race ./..."
 go test -race ./...

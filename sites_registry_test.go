@@ -1,0 +1,47 @@
+package driftclean
+
+import (
+	"path/filepath"
+	"testing"
+
+	"driftclean/internal/fault"
+	"driftclean/internal/lint"
+)
+
+// TestFaultRegistryFresh recomputes the fault-site list from the
+// module's sources and compares it to the generated fault.Registry, so
+// a drifted sites_gen.go fails plain `go test ./...` even when the
+// driftlint gate is not run. Regenerate with:
+//
+//	go run ./cmd/driftlint -gensites
+func TestFaultRegistryFresh(t *testing.T) {
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.NewLoader().LoadPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	names, err := lint.FaultSiteNames(pkgs)
+	if err != nil {
+		t.Fatalf("collecting fault sites: %v", err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no fault sites found in the module; the chaos seams are gone")
+	}
+	if len(names) != len(fault.Registry) {
+		t.Fatalf("source registers %d sites, generated Registry lists %d; run `go run ./cmd/driftlint -gensites`\nsource: %v\nregistry: %v",
+			len(names), len(fault.Registry), names, fault.Registry)
+	}
+	for i, name := range names {
+		if fault.Registry[i] != name {
+			t.Errorf("Registry[%d] = %q, source says %q; run `go run ./cmd/driftlint -gensites`", i, fault.Registry[i], name)
+		}
+	}
+	// The chaos suite keys off the stage prefixes; make sure the derived
+	// pipeline list stayed non-trivial.
+	if len(pipelineSites) < 5 {
+		t.Errorf("pipelineSites derived only %v from the registry", pipelineSites)
+	}
+}
