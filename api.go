@@ -4,10 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 
 	"driftclean/internal/core"
-	"driftclean/internal/eval"
 	"driftclean/internal/experiments"
 	"driftclean/internal/snapshot"
 )
@@ -201,8 +199,10 @@ type Report struct {
 func (r *Report) Snapshot() *Snapshot { return snapshot.Freeze(r.System.KB) }
 
 // CleanContext runs the complete pipeline — build, detect DPs, clean
-// iteratively, evaluate — under the given context. It is the primary
-// entry point:
+// iteratively, evaluate — under the given context, as a one-batch
+// session: every sentence is ingested in a single Ingest call. For
+// incremental batch-by-batch processing with live snapshot publishing,
+// use Open directly; CleanContext remains the convenient one-shot form:
 //
 //	rep, err := driftclean.CleanContext(ctx,
 //		driftclean.WithConfig(cfg),
@@ -220,79 +220,16 @@ func CleanContext(ctx context.Context, opts ...Option) (*Report, error) {
 	return CleanWithContext(ctx, o.method, opts...)
 }
 
-// CleanWithContext is CleanContext with an explicit detection method.
+// CleanWithContext is CleanContext with an explicit detection method:
+// it opens a Session, ingests the entire corpus as one batch, and
+// closes the session, returning that single checkpoint's report.
 func CleanWithContext(ctx context.Context, method DetectorKind, opts ...Option) (*Report, error) {
-	o := newOptions(opts)
-	if err := ctx.Err(); err != nil {
-		return nil, canceledErr(err)
-	}
-	cfg := o.cfg
-	cfg.Clean.OnRound = func(round int) bool {
-		if ctx.Err() != nil {
-			return true
-		}
-		o.emit(PhaseClean, round)
-		return false
-	}
-
-	o.emit(PhaseBuild, 0)
-	var sys *System
-	if err := runStage("build", func() { sys = core.Build(cfg) }); err != nil {
+	sess, err := Open(ctx, append(append([]Option(nil), opts...), WithMethod(method))...)
+	if err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, canceledErr(err)
-	}
-	rep := &Report{
-		System:          sys,
-		PrecisionBefore: sys.Oracle.KBPrecision(sys.KB, nil),
-		PairsBefore:     sys.KB.NumPairs(),
-	}
-	var cr *CleanResult
-	var cleanErr error
-	if err := runStage("clean", func() { cr, cleanErr = sys.CleanDPs(method) }); err != nil {
-		// The partial report (system + before-cleaning metrics) rides
-		// along with the error so callers can inspect how far the run got.
-		return rep, err
-	}
-	if cleanErr != nil {
-		return rep, fmt.Errorf("driftclean: cleaning failed: %w", cleanErr)
-	}
-	if cr.Clean.Stopped {
-		return nil, canceledErr(ctx.Err())
-	}
-
-	o.emit(PhaseEvaluate, 0)
-	if err := runStage("evaluate", func() {
-		rep.PrecisionAfter = sys.Oracle.KBPrecision(sys.KB, nil)
-		rep.PairsAfter = sys.KB.NumPairs()
-		rep.Rounds = len(cr.Clean.Rounds)
-		rep.Converged = cr.Clean.Converged
-		// Merge per-concept metrics in sorted concept order: float sums
-		// are order-sensitive, and map order would make the reported
-		// metrics drift across runs of the same experiment.
-		concepts := make([]string, 0, len(cr.BeforeInstances))
-		for concept := range cr.BeforeInstances {
-			concepts = append(concepts, concept)
-		}
-		sort.Strings(concepts)
-		per := make([]eval.CleaningMetrics, 0, len(concepts))
-		for _, concept := range concepts {
-			per = append(per, sys.Oracle.Cleaning(concept, cr.BeforeInstances[concept], sys.KB))
-		}
-		m := eval.MergeCleaning(per)
-		rep.PError, rep.RError, rep.PCorr, rep.RCorr = m.PError, m.RError, m.PCorr, m.RCorr
-	}); err != nil {
-		return rep, err
-	}
-	totalDPs := 0
-	for _, rr := range cr.Clean.Rounds {
-		totalDPs += rr.AccidentalDPs + rr.IntentionalDPs
-	}
-	if totalDPs == 0 {
-		return rep, ErrNoDPsDetected
-	}
-	return rep, nil
+	defer sess.Close()
+	return sess.Ingest(ctx, sess.Sentences())
 }
 
 // canceledErr wraps the context error in the ErrCanceled sentinel.

@@ -7,7 +7,10 @@
 //
 //	driftbench                       # full ladder (small/medium/large)
 //	driftbench -smoke                # single tiny scale, for CI
-//	driftbench -scales all           # smoke + full ladder
+//	driftbench -scales all           # smoke + full ladder + ingest scenarios
+//	driftbench -scales ingest        # incremental ingest: per-batch latency
+//	                                 # vs a from-scratch rerun (medium corpus)
+//	driftbench -scales ingest-smoke  # tiny ingest scenario, for CI
 //	driftbench -out bench.json       # artifact path (default BENCH_pipeline.json)
 //	driftbench -check old.json       # fail if any same-named scale's KB
 //	                                 # fingerprint differs from old.json
@@ -32,7 +35,7 @@ import (
 
 func main() {
 	smoke := flag.Bool("smoke", false, "run the single tiny CI scale instead of the full ladder")
-	scaleSet := flag.String("scales", "", `scale set: "default" (small/medium/large), "smoke", or "all" (smoke + ladder); overrides -smoke`)
+	scaleSet := flag.String("scales", "", `scale set: "default" (small/medium/large), "smoke", "ingest", "ingest-smoke", or "all" (smoke + ladder + ingest); overrides -smoke`)
 	out := flag.String("out", "BENCH_pipeline.json", "artifact output path")
 	check := flag.String("check", "", "path of a previous artifact; fail if any same-named scale's KB fingerprint differs")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed runs to this path")
@@ -40,6 +43,7 @@ func main() {
 	flag.Parse()
 
 	scales := bench.DefaultScales()
+	var ingestScales []bench.IngestScale
 	if *smoke {
 		scales = bench.SmokeScales()
 	}
@@ -49,10 +53,17 @@ func main() {
 		scales = bench.DefaultScales()
 	case "smoke":
 		scales = bench.SmokeScales()
+	case "ingest":
+		scales = nil
+		ingestScales = bench.DefaultIngestScales()
+	case "ingest-smoke":
+		scales = nil
+		ingestScales = bench.SmokeIngestScales()
 	case "all":
 		scales = append(bench.SmokeScales(), bench.DefaultScales()...)
+		ingestScales = append(bench.SmokeIngestScales(), bench.DefaultIngestScales()...)
 	default:
-		fmt.Fprintf(os.Stderr, "driftbench: unknown -scales %q (want default, smoke or all)\n", *scaleSet)
+		fmt.Fprintf(os.Stderr, "driftbench: unknown -scales %q (want default, smoke, ingest, ingest-smoke or all)\n", *scaleSet)
 		os.Exit(2)
 	}
 
@@ -71,6 +82,7 @@ func main() {
 	}
 
 	res := bench.Run(scales, func(line string) { fmt.Println(line) })
+	bench.RunIngest(res, ingestScales, func(line string) { fmt.Println(line) })
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -98,17 +110,29 @@ func main() {
 	}
 
 	ok := true
-	fmt.Printf("\n%-8s %10s %10s %8s  %s\n", "scale", "serial_s", "parallel_s", "speedup", "identical")
-	for _, sc := range res.Scales {
-		fmt.Printf("%-8s %10.2f %10.2f %7.2fx  %v\n",
-			sc.Name, sc.Serial.Stages.Total, sc.Parallel.Stages.Total, sc.Speedup, sc.Identical)
-		if !sc.Identical {
-			ok = false
+	if len(res.Scales) > 0 {
+		fmt.Printf("\n%-8s %10s %10s %8s  %s\n", "scale", "serial_s", "parallel_s", "speedup", "identical")
+		for _, sc := range res.Scales {
+			fmt.Printf("%-8s %10.2f %10.2f %7.2fx  %v\n",
+				sc.Name, sc.Serial.Stages.Total, sc.Parallel.Stages.Total, sc.Speedup, sc.Identical)
+			if !sc.Identical {
+				ok = false
+			}
+		}
+	}
+	if len(res.Ingest) > 0 {
+		fmt.Printf("\n%-14s %10s %12s %8s  %s\n", "ingest", "batch_s", "rerun_s", "speedup", "identical")
+		for _, ir := range res.Ingest {
+			fmt.Printf("%-14s %10.3f %12.2f %7.2fx  %v\n",
+				ir.Name, ir.MeanBatchSeconds, ir.FullRerunSeconds, ir.Speedup, ir.Identical)
+			if !ir.Identical {
+				ok = false
+			}
 		}
 	}
 	fmt.Printf("cpus=%d workers=%d artifact=%s\n", res.CPUs, res.ParallelWorkers, *out)
 	if !ok {
-		fmt.Fprintln(os.Stderr, "driftbench: serial and parallel runs diverged — determinism violation")
+		fmt.Fprintln(os.Stderr, "driftbench: paired runs diverged on the final KB — determinism violation")
 		os.Exit(1)
 	}
 

@@ -1,13 +1,25 @@
-// Command driftserve serves read queries over a saved knowledge base
-// (see driftclean -savekb) as HTTP/JSON. The KB is frozen into an
-// immutable snapshot at startup; queries run lock-free against it
-// through an LRU-cached, request-coalescing service. POST /v1/reload
-// (or SIGHUP) re-reads the KB file and atomically swaps in a fresh
-// snapshot without dropping in-flight requests.
+// Command driftserve serves read queries over a knowledge base as
+// HTTP/JSON, in one of two modes.
+//
+// With -kb FILE, a KB saved with driftclean -savekb is frozen into an
+// immutable snapshot at startup; POST /v1/reload (or SIGHUP) re-reads
+// the file and atomically swaps in a fresh snapshot without dropping
+// in-flight requests.
+//
+// With -session, the server owns a live incremental pipeline
+// (driftclean.Session): POST /v1/ingest appends a sentence batch, runs
+// one delta extract-and-clean checkpoint, and hot-swaps the new
+// generation in; a failed checkpoint leaves the previous snapshot
+// serving, marked stale. The server starts with no snapshot — queries
+// return 503 until the first successful ingest.
+//
+// In both modes, queries run lock-free against the current snapshot
+// through an LRU-cached, request-coalescing service.
 //
 // Usage:
 //
-//	driftserve -kb FILE [-addr :8080] [-timeout 5s] [-cache 4096]
+//	driftserve -kb FILE   [-addr :8080] [-timeout 5s] [-cache 4096]
+//	driftserve -session   [-sentences N] [-addr :8080] [-timeout 5s] [-cache 4096]
 //
 // Endpoints:
 //
@@ -16,7 +28,9 @@
 //	GET  /v1/instances?concept=C                 a concept's instances
 //	GET  /v1/explain?concept=C&instance=E[&n=N]  provenance of one pair
 //	GET  /v1/drifted?concept=C[&n=N]             deepest provenance chains
-//	POST /v1/reload                              hot-reload the KB file
+//	GET  /v1/generation                          serving generation + stale flag
+//	POST /v1/ingest                              advance the session pipeline (-session)
+//	POST /v1/reload                              hot-reload the KB file (-kb)
 //	GET  /debug/vars                             service metrics
 //
 // The server shuts down gracefully on SIGTERM or SIGINT: it stops
@@ -33,9 +47,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"driftclean"
+	"driftclean/internal/corpus"
 	"driftclean/internal/kb"
 	"driftclean/internal/serve"
 	"driftclean/internal/snapshot"
@@ -43,18 +60,26 @@ import (
 
 func main() {
 	var (
-		kbPath  = flag.String("kb", "", "path to a KB snapshot written with -savekb (required)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout (0 disables)")
-		cache   = flag.Int("cache", serve.DefaultCacheSize, "result cache entries (negative disables)")
+		kbPath    = flag.String("kb", "", "path to a KB snapshot written with -savekb")
+		session   = flag.Bool("session", false, "serve a live incremental pipeline instead of a KB file")
+		sentences = flag.Int("sentences", 0, "with -session: corpus size (0 uses the default config)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request timeout (0 disables; ingest exempt)")
+		cache     = flag.Int("cache", serve.DefaultCacheSize, "result cache entries (negative disables)")
 	)
 	flag.Parse()
-	if *kbPath == "" || flag.NArg() > 0 {
-		fmt.Fprintln(os.Stderr, "usage: driftserve -kb FILE [-addr :8080] [-timeout 5s] [-cache 4096]")
+	if (*kbPath == "") == !*session || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: driftserve -kb FILE | -session [-sentences N]  [-addr :8080] [-timeout 5s] [-cache 4096]")
 		os.Exit(2)
 	}
 	logger := log.New(os.Stderr, "driftserve: ", log.LstdFlags)
-	if err := run(*kbPath, *addr, *timeout, *cache, logger); err != nil {
+	var err error
+	if *session {
+		err = runSession(*sentences, *addr, *timeout, *cache, logger)
+	} else {
+		err = run(*kbPath, *addr, *timeout, *cache, logger)
+	}
+	if err != nil {
 		logger.Print(err)
 		os.Exit(1)
 	}
@@ -107,9 +132,82 @@ func run(kbPath, addr string, timeout time.Duration, cacheSize int, logger *log.
 		}
 	}()
 
+	return serveUntilShutdown(ctx, srv, logger)
+}
+
+// runSession opens a live incremental pipeline and serves it: each POST
+// /v1/ingest runs one checkpoint and publishes its snapshot. Queries
+// 503 until the first successful ingest.
+func runSession(sentences int, addr string, timeout time.Duration, cacheSize int, logger *log.Logger) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	cfg := driftclean.DefaultConfig()
+	if sentences > 0 {
+		cfg.Corpus.NumSentences = sentences
+	}
+	logger.Print("building session world and corpus")
+	sess, err := driftclean.Open(ctx, driftclean.WithConfig(cfg))
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	corpusLen := len(sess.Sentences())
+	logger.Printf("session open: %d corpus sentences, no snapshot until first ingest", corpusLen)
+
+	svc := serve.New(nil, serve.Options{CacheSize: cacheSize})
+	ingester := serve.NewIngester(svc, func(ctx context.Context, batch []corpus.Sentence) (*snapshot.Snapshot, error) {
+		// A checkpoint in which the detector finds nothing is still a
+		// committed, publishable checkpoint.
+		if _, err := sess.Ingest(ctx, batch); err != nil && !errors.Is(err, driftclean.ErrNoDPsDetected) {
+			return nil, err
+		}
+		return sess.Publish()
+	}, nil)
+
+	// cursor tracks how much of the session corpus Count-form requests
+	// have consumed; it only advances on success, so a failed batch is
+	// re-pulled by the next request.
+	var mu sync.Mutex
+	cursor := 0
+	ingest := func(ctx context.Context, req ingestRequest) (ingestResponse, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		batch := req.Sentences
+		remaining := -1
+		if req.Count > 0 {
+			end := cursor + req.Count
+			if end > corpusLen {
+				end = corpusLen
+			}
+			batch = sess.Sentences()[cursor:end]
+		}
+		gen, err := ingester.Ingest(ctx, batch)
+		if err != nil {
+			return ingestResponse{}, err
+		}
+		if req.Count > 0 {
+			cursor += len(batch)
+			remaining = corpusLen - cursor
+		}
+		logger.Printf("ingested %d sentences: generation %d", len(batch), gen)
+		return ingestResponse{Generation: gen, Ingested: len(batch), Remaining: remaining}, nil
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newHandler(handlerConfig{svc: svc, ingest: ingest, timeout: timeout}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return serveUntilShutdown(ctx, srv, logger)
+}
+
+// serveUntilShutdown listens until the context is canceled, then shuts
+// down gracefully with a grace period for in-flight requests.
+func serveUntilShutdown(ctx context.Context, srv *http.Server, logger *log.Logger) error {
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s", addr)
+		logger.Printf("listening on %s", srv.Addr)
 		errc <- srv.ListenAndServe()
 	}()
 

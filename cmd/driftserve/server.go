@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 
+	"driftclean/internal/corpus"
 	"driftclean/internal/serve"
 )
 
@@ -17,11 +19,50 @@ type handlerConfig struct {
 	// reload re-freezes the snapshot from the KB file and swaps it in;
 	// nil disables the /v1/reload endpoint.
 	reload func() error
-	// timeout bounds each request end to end; 0 disables.
+	// ingest advances the incremental pipeline by one batch and swaps
+	// the new checkpoint's snapshot in; nil (the -kb mode) disables the
+	// /v1/ingest endpoint.
+	ingest func(ctx context.Context, req ingestRequest) (ingestResponse, error)
+	// timeout bounds each request end to end; 0 disables. /v1/ingest is
+	// exempt: a checkpoint (extraction replay plus cleaning rounds)
+	// legitimately outlives a query budget, and cancellation is still
+	// honored through the request context when the client disconnects.
 	timeout time.Duration
 	// beforeQuery, when non-nil, runs before every /v1 query handler —
 	// a test seam for exercising the timeout path deterministically.
 	beforeQuery func()
+}
+
+// maxIngestBody bounds the /v1/ingest request body (explicit sentence
+// batches are test- and demo-sized; the corpus pull form is tiny).
+const maxIngestBody = 8 << 20
+
+// ingestRequest is the POST /v1/ingest body. Exactly one of the fields
+// must be set: Count pulls the next N unread sentences from the
+// server's own corpus (the usual form — the session owns the corpus),
+// Sentences submits an explicit batch.
+type ingestRequest struct {
+	Count     int               `json:"count"`
+	Sentences []corpus.Sentence `json:"sentences"`
+}
+
+// ingestResponse reports one successfully published checkpoint.
+type ingestResponse struct {
+	// Generation is the newly published snapshot's generation.
+	Generation uint64 `json:"generation"`
+	// Ingested is the number of sentences in this batch.
+	Ingested int `json:"ingested"`
+	// Remaining counts corpus sentences not yet pulled by Count-form
+	// requests; -1 for an explicit-batch request.
+	Remaining int `json:"remaining"`
+}
+
+// generationResponse is the GET /v1/generation payload: which snapshot
+// generation is serving and whether it is stale (a newer state exists
+// but the last publish attempt failed).
+type generationResponse struct {
+	Generation uint64 `json:"generation"`
+	Stale      bool   `json:"stale"`
 }
 
 // errorBody is the JSON error envelope every non-200 response carries.
@@ -36,6 +77,8 @@ type errorBody struct {
 //	GET  /v1/instances?concept=C                 a concept's instances
 //	GET  /v1/explain?concept=C&instance=E[&n=N]  provenance of one pair
 //	GET  /v1/drifted?concept=C[&n=N]             deepest provenance chains
+//	GET  /v1/generation                          serving generation + stale flag
+//	POST /v1/ingest                              advance the session pipeline (-session)
 //	POST /v1/reload                              re-freeze from the -kb file
 //	GET  /debug/vars                             service metrics (expvar style)
 func newHandler(cfg handlerConfig) http.Handler {
@@ -84,6 +127,12 @@ func newHandler(cfg handlerConfig) http.Handler {
 		result, err := cfg.svc.Drifted(r.Context(), concept, n)
 		respond(w, result, err)
 	}))
+	mux.HandleFunc("GET /v1/generation", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, generationResponse{
+			Generation: cfg.svc.Generation(),
+			Stale:      cfg.svc.Stale(),
+		}, nil)
+	})
 	if cfg.reload != nil {
 		mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
 			if err := cfg.reload(); err != nil {
@@ -108,6 +157,27 @@ func newHandler(cfg handlerConfig) http.Handler {
 		// expiry) and cancels the request context, which the service's
 		// query path observes before computing.
 		h = http.TimeoutHandler(h, cfg.timeout, `{"error":"request timed out"}`)
+	}
+	if cfg.ingest != nil {
+		// Ingest is routed around the timeout wrapper: one checkpoint of
+		// pipeline work is allowed to take as long as it takes.
+		outer := http.NewServeMux()
+		outer.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+			var req ingestRequest
+			if err := json.NewDecoder(io.LimitReader(r.Body, maxIngestBody)).Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, "malformed ingest request: "+err.Error())
+				return
+			}
+			if (req.Count > 0) == (len(req.Sentences) > 0) {
+				writeError(w, http.StatusBadRequest,
+					`exactly one of "count" and "sentences" must be set`)
+				return
+			}
+			resp, err := cfg.ingest(r.Context(), req)
+			respond(w, resp, err)
+		})
+		outer.Handle("/", h)
+		h = outer
 	}
 	return h
 }

@@ -34,12 +34,30 @@
 //
 // # Quick start
 //
-//	cfg := driftclean.DefaultConfig()
-//	cfg.Corpus.NumSentences = 50000
-//	report, err := driftclean.Clean(cfg)
+// The primary entry point is the incremental Session: Open builds the
+// world and corpus, each Ingest runs one extract-and-clean checkpoint
+// over a sentence batch, and Publish freezes the current KB as an
+// immutable generation-stamped snapshot. After every checkpoint the KB
+// is bit-identical to a from-scratch run over everything ingested so
+// far — analysis is simply re-used for concepts whose features did not
+// change.
+//
+//	ctx := context.Background()
+//	sess, err := driftclean.Open(ctx, driftclean.WithConfig(cfg))
 //	if err != nil { ... }
-//	fmt.Printf("precision %.2f -> %.2f\n",
-//	    report.PrecisionBefore, report.PrecisionAfter)
+//	defer sess.Close()
+//	for _, batch := range batches(sess.Sentences()) {
+//	    report, err := sess.Ingest(ctx, batch)
+//	    if err != nil { ... } // checkpoint rolled back; retry the batch
+//	    snap, _ := sess.Publish()
+//	    fmt.Printf("gen %d: precision %.2f -> %.2f\n",
+//	        snap.Generation(), report.PrecisionBefore, report.PrecisionAfter)
+//	}
+//
+// For the common one-batch case, CleanContext is a thin wrapper that
+// opens a session, ingests the whole corpus once, and closes:
+//
+//	report, err := driftclean.CleanContext(ctx, driftclean.WithConfig(cfg))
 //
 // See the examples directory for richer scenarios and cmd/experiments
 // for table/figure regeneration.

@@ -24,11 +24,15 @@ func main() {
 	cfg.World.NumDomains = 4
 	cfg.Corpus.NumSentences = 40000
 
-	// The context-first API: ctrl-C cancels cleanly between rounds, and
-	// WithProgress streams the pipeline's phases as they start.
+	// The session API: Open builds the world and corpus, Ingest runs one
+	// extract-and-clean checkpoint over a sentence batch — here the whole
+	// corpus at once. Ctrl-C cancels cleanly between rounds, and
+	// WithProgress streams the pipeline's phases as they start. (For the
+	// one-batch case there is also the CleanContext shorthand, which is
+	// exactly this sequence.)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	report, err := driftclean.CleanContext(ctx,
+	sess, err := driftclean.Open(ctx,
 		driftclean.WithConfig(cfg),
 		driftclean.WithProgress(func(p driftclean.Phase, r driftclean.Round) {
 			if p == driftclean.PhaseClean {
@@ -37,6 +41,11 @@ func main() {
 				fmt.Printf("  %v...\n", p)
 			}
 		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	report, err := sess.Ingest(ctx, sess.Sentences())
 	switch {
 	case errors.Is(err, driftclean.ErrNoDPsDetected):
 		fmt.Println("nothing drifted — the KB was already clean")

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	cfg.Corpus.NumSentences = 50000
 
 	fmt.Println("extracting located-in(region, place) with iterative bootstrapping...")
-	report, err := driftclean.Clean(cfg)
+	report, err := driftclean.CleanContext(context.Background(), driftclean.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}

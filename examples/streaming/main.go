@@ -1,62 +1,64 @@
 // Streaming: the web is crawled continuously, so a Probase-style system
 // extends its KB batch by batch instead of rebuilding. This example
-// feeds the corpus in monthly "crawl batches", extends the KB after each,
-// watches drift accumulate, and runs DP cleaning at the end.
+// drives the incremental Session API through monthly "crawl batches":
+// each Ingest runs one delta extract-and-clean checkpoint (analysis
+// re-runs only for concepts whose features changed), and each checkpoint
+// is published as a generation-stamped snapshot — exactly what a serving
+// layer would hot-swap in.
 //
 //	go run ./examples/streaming
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
 	"driftclean"
-	"driftclean/internal/corpus"
-	"driftclean/internal/eval"
-	"driftclean/internal/extract"
-	"driftclean/internal/world"
 )
 
 func main() {
-	wcfg := world.DefaultConfig()
-	wcfg.NumDomains = 4
-	w := world.New(wcfg)
-	ccfg := corpus.DefaultConfig()
-	ccfg.NumSentences = 60000
-	c := corpus.Generate(w, ccfg)
-	oracle := eval.NewOracle(w, c)
+	cfg := driftclean.DefaultConfig()
+	cfg.World.NumDomains = 4
+	cfg.Corpus.NumSentences = 60000
 
+	ctx := context.Background()
+	sess, err := driftclean.Open(ctx, driftclean.WithConfig(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	// The session owns the corpus; slice it into crawl batches. After
+	// every Ingest the KB is bit-identical to a from-scratch run over
+	// everything ingested so far — the checkpoints just cost less.
+	sents := sess.Sentences()
 	const batches = 6
-	x := extract.NewExtractor(extract.DefaultConfig())
-	per := c.Len() / batches
-	fmt.Println("batch  pairs    precision  pending")
+	per := len(sents) / batches
+	var rep *driftclean.Report
+	fmt.Println("batch  pairs    precision        gen")
 	for b := 0; b < batches; b++ {
 		lo, hi := b*per, (b+1)*per
 		if b == batches-1 {
-			hi = c.Len()
+			hi = len(sents)
 		}
-		x.Add(c.Sentences[lo:hi])
-		x.Extend()
-		fmt.Printf("%5d  %7d  %.3f      %d\n",
-			b+1, x.KB().NumPairs(), oracle.KBPrecision(x.KB(), nil), x.Pending())
+		rep, err = sess.Ingest(ctx, sents[lo:hi])
+		if err != nil && !errors.Is(err, driftclean.ErrNoDPsDetected) {
+			// A failed checkpoint rolls back; the same batch could simply
+			// be retried. For a demo, bail.
+			log.Fatal(err)
+		}
+		snap, err := sess.Publish()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %7d  %.3f -> %.3f  %d\n",
+			b+1, rep.PairsAfter, rep.PrecisionBefore, rep.PrecisionAfter, snap.Generation())
 	}
 
-	// Hand the streamed KB to the cleaning pipeline. The System wrapper
-	// normally builds its own extraction; here we substitute the streamed
-	// result and clean in place.
-	cfg := driftclean.DefaultConfig()
-	sys := &driftclean.System{
-		Cfg:        cfg,
-		World:      w,
-		Corpus:     c,
-		Extraction: x.Result(),
-		KB:         x.KB(),
-		Oracle:     oracle,
-	}
-	before := oracle.KBPrecision(sys.KB, nil)
-	if _, err := sys.CleanDPs(driftclean.DetectMultiTask); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nDP cleaning: precision %.3f -> %.3f (%d pairs remain)\n",
-		before, oracle.KBPrecision(sys.KB, nil), sys.KB.NumPairs())
+	// The last checkpoint's report carries the same metrics a one-shot
+	// CleanContext run over the whole corpus would have produced.
+	fmt.Printf("\nDP cleaning: precision %.3f -> %.3f (%d pairs remain, %d checkpoints)\n",
+		rep.PrecisionBefore, rep.PrecisionAfter, rep.PairsAfter, sess.Checkpoints())
 }

@@ -124,6 +124,9 @@ type Result struct {
 	// determinism A/B) are exercised even on small CI machines.
 	ParallelWorkers int           `json:"parallel_workers"`
 	Scales          []ScaleResult `json:"scales"`
+	// Ingest holds the incremental-ingest scenarios (RunIngest), when
+	// the run included any.
+	Ingest []IngestResult `json:"ingest,omitempty"`
 }
 
 // parallelWorkers picks the worker count for the parallel arm.
@@ -286,6 +289,22 @@ func CheckAgainst(res *Result, path string) ([]string, error) {
 				"scale %s: KB fingerprint %s (%d pairs) != previous %s (%d pairs)",
 				sc.Name, sc.Serial.Fingerprint, sc.Serial.Pairs,
 				prev.Serial.Fingerprint, prev.Serial.Pairs))
+		}
+	}
+	oldIngest := make(map[string]IngestResult, len(old.Ingest))
+	for _, ir := range old.Ingest {
+		oldIngest[ir.Name] = ir
+	}
+	for _, ir := range res.Ingest {
+		prev, ok := oldIngest[ir.Name]
+		if !ok || prev.IngestScale != ir.IngestScale {
+			continue
+		}
+		shared++
+		if ir.Fingerprint != prev.Fingerprint || ir.Pairs != prev.Pairs {
+			drifts = append(drifts, fmt.Sprintf(
+				"ingest scale %s: KB fingerprint %s (%d pairs) != previous %s (%d pairs)",
+				ir.Name, ir.Fingerprint, ir.Pairs, prev.Fingerprint, prev.Pairs))
 		}
 	}
 	if shared == 0 {

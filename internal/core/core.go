@@ -6,7 +6,10 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 	"sync"
 
@@ -137,6 +140,11 @@ type System struct {
 	// scoreCache is the cross-round walk cache, created lazily by the
 	// first Analyze.
 	scoreCache *rank.Cache
+	// walkMemo backs scoreCache with graph-signature-keyed walk reuse,
+	// so a checkpoint replay's fresh KB (new pointer, cold cache) still
+	// skips the power iteration for every concept whose trigger graph is
+	// unchanged from the previous checkpoint.
+	walkMemo *rank.WalkMemo
 	// memo holds the last Analysis with the KB identity + version it was
 	// computed from; a hit requires both to be unchanged.
 	memo struct {
@@ -144,33 +152,89 @@ type System struct {
 		version  uint64
 		analysis *Analysis
 	}
+	// taskCache persists each concept's learning task across analysis
+	// passes, keyed by a signature of the task's exact inputs (instance
+	// names, seed labels, raw feature matrix). A task is a pure function
+	// of those inputs and the fixed config, so a signature hit skips the
+	// KPCA fit and projection — the dominant analysis cost — and returns
+	// the cached task verbatim. Guarded by taskMu (buildTask fans out).
+	taskMu     sync.Mutex
+	taskCache  map[string]taskEntry
+	taskHits   int
+	taskMisses int
+
+	// manifoldCache memoizes each concept's manifold regularizer matrix
+	// (Eq 17) keyed on the task pointer it was built from. Cached tasks
+	// are returned pointer-identical by buildTask, a rebuilt task is a
+	// fresh allocation, and the matrix is a pure function of the task
+	// under the fixed config — so pointer identity is exactly "same
+	// matrix", and detection skips the O(n²) k-NN graph for every
+	// concept whose task survived from the previous pass. Guarded by
+	// manifoldMu (TrainMultiTask builds task states serially today, but
+	// the cache must not rely on that).
+	manifoldMu    sync.Mutex
+	manifoldCache map[string]manifoldEntry
+}
+
+type taskEntry struct {
+	sig  uint64
+	task *learn.Task
+}
+
+type manifoldEntry struct {
+	task *learn.Task
+	a    *linalg.Matrix
 }
 
 // ScoreCache returns the system's shared cross-round random-walk cache,
 // creating it on first use. Its configuration matches the feature
 // extractor's (rank.DefaultConfig), which is also the cleaning loop's
-// default Eq 21 walk configuration.
+// default Eq 21 walk configuration. The cache computes walks through
+// the system's signature-keyed walk memo, so concepts whose trigger
+// graphs are unchanged across checkpoint replays reuse their scores.
 func (s *System) ScoreCache() *rank.Cache {
 	if s.scoreCache == nil {
+		if s.walkMemo == nil {
+			s.walkMemo = rank.NewWalkMemo()
+		}
 		s.scoreCache = rank.NewCache(rank.DefaultConfig())
+		s.scoreCache.SetWalk(s.walkMemo.Walk)
 	}
 	return s.scoreCache
 }
 
-// Build generates the world and corpus and runs the iterative extraction.
-func Build(cfg Config) *System {
+// TaskCacheStats reports how many buildTask calls reused a cached task
+// versus rebuilt one (KPCA fit + projection) since the system was
+// created.
+func (s *System) TaskCacheStats() (hits, misses int) {
+	s.taskMu.Lock()
+	defer s.taskMu.Unlock()
+	return s.taskHits, s.taskMisses
+}
+
+// Prepare generates the world and corpus and wires up the oracle, but
+// runs no extraction: the system's KB starts empty. It is the substrate
+// of the incremental ingest path (Ingestor), where sentences arrive in
+// batches after the system exists.
+func Prepare(cfg Config) *System {
 	cfg = cfg.propagate()
 	w := world.New(cfg.World)
 	c := corpus.Generate(w, cfg.Corpus)
-	res := extract.Run(c, cfg.Extract)
 	return &System{
-		Cfg:        cfg,
-		World:      w,
-		Corpus:     c,
-		Extraction: res,
-		KB:         res.KB,
-		Oracle:     eval.NewOracle(w, c),
+		Cfg:    cfg,
+		World:  w,
+		Corpus: c,
+		Oracle: eval.NewOracle(w, c),
 	}
+}
+
+// Build generates the world and corpus and runs the iterative extraction.
+func Build(cfg Config) *System {
+	sys := Prepare(cfg)
+	res := extract.Run(sys.Corpus, sys.Cfg.Extract)
+	sys.Extraction = res
+	sys.KB = res.KB
+	return sys
 }
 
 // Analysis bundles the per-KB-state analysis artifacts.
@@ -253,6 +317,16 @@ func (s *System) Analyze(k *kb.KB) (*Analysis, error) {
 // buildTask assembles the learning task of one concept: candidates are
 // the triggering instances plus every seed-labeled instance; raw features
 // are transformed by a per-concept KPCA fitted on (capped) task points.
+//
+// The expensive tail — KPCA fit, projection, padding — is skipped when
+// the task's inputs are unchanged since the last pass: the task is a
+// pure function of (names, seed labels, raw feature matrix) under the
+// system's fixed config, so an identical input signature returns the
+// previously built task bit for bit. This is what scopes re-analysis to
+// dirty concepts: the raw feature matrix already aggregates every
+// cross-concept dependency (f2/f6 read other concepts' pair counts and
+// the exclusion structure), so "feature vectors unchanged" is exactly
+// the condition under which the old task is still the right answer.
 func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, error) {
 	seeds := a.Labeler.Seeds(concept)
 	var names []string
@@ -273,6 +347,16 @@ func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, 
 		return nil, nil
 	}
 	raw := a.Features.Matrix(concept, names)
+
+	sig := taskSignature(concept, names, seeds, raw)
+	s.taskMu.Lock()
+	if e, ok := s.taskCache[concept]; ok && e.sig == sig {
+		s.taskHits++
+		s.taskMu.Unlock()
+		return e.task, nil
+	}
+	s.taskMisses++
+	s.taskMu.Unlock()
 
 	// Fit KPCA on all labeled points plus a deterministic sample of the
 	// rest, capped for tractability; project everything.
@@ -336,7 +420,43 @@ func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, 
 		})
 	}
 	task.PadTo(s.sharedDim())
+	s.taskMu.Lock()
+	if s.taskCache == nil {
+		s.taskCache = make(map[string]taskEntry)
+	}
+	s.taskCache[concept] = taskEntry{sig: sig, task: task}
+	s.taskMu.Unlock()
 	return task, nil
+}
+
+// taskSignature hashes the exact inputs a concept's learning task is a
+// function of: the sorted instance names, each name's seed label (or
+// its absence), and the raw feature matrix bit for bit. Names are
+// sorted and the matrix rows follow name order, so the signature is
+// deterministic; equal signatures mean the previously built task is
+// byte-identical to what a rebuild would produce.
+func taskSignature(concept string, names []string, seeds map[string]dp.Label, raw [][]float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	_, _ = h.Write([]byte(concept))
+	_, _ = h.Write([]byte{0})
+	u64(uint64(len(names)))
+	for i, e := range names {
+		_, _ = h.Write([]byte(e))
+		if lbl, ok := seeds[e]; ok {
+			_, _ = h.Write([]byte{1, byte(lbl)})
+		} else {
+			_, _ = h.Write([]byte{0, 0})
+		}
+		for _, v := range raw[i] {
+			u64(math.Float64bits(v))
+		}
+	}
+	return h.Sum64()
 }
 
 func (s *System) sharedDim() int {
@@ -404,7 +524,9 @@ func (s *System) Detect(a *Analysis, kind DetectorKind) (clean.Labels, error) {
 	}
 	switch kind {
 	case DetectMultiTask:
-		res, err := learn.TrainMultiTask(a.Tasks, s.Cfg.MultiTask, nil)
+		mtCfg := s.Cfg.MultiTask
+		mtCfg.ManifoldOf = s.manifoldFor
+		res, err := learn.TrainMultiTask(a.Tasks, mtCfg, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -466,6 +588,27 @@ func (s *System) Detect(a *Analysis, kind DetectorKind) (clean.Labels, error) {
 		guardDPs(out[t.Concept], t)
 	}
 	return out, nil
+}
+
+// manifoldFor is the memoizing learn.MultiTaskConfig.ManifoldOf
+// provider: it returns the cached manifold matrix when the concept's
+// task is the same object as last time, and builds and caches it
+// otherwise. See manifoldCache for why pointer identity is sound.
+func (s *System) manifoldFor(t *learn.Task, cfg learn.ManifoldConfig) *linalg.Matrix {
+	s.manifoldMu.Lock()
+	if e, ok := s.manifoldCache[t.Concept]; ok && e.task == t {
+		s.manifoldMu.Unlock()
+		return e.a
+	}
+	s.manifoldMu.Unlock()
+	a := learn.ManifoldMatrix(t, cfg)
+	s.manifoldMu.Lock()
+	if s.manifoldCache == nil {
+		s.manifoldCache = make(map[string]manifoldEntry)
+	}
+	s.manifoldCache[t.Concept] = manifoldEntry{task: t, a: a}
+	s.manifoldMu.Unlock()
+	return a
 }
 
 // guardDPs demotes DP predictions with no observable exclusive-class

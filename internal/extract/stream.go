@@ -107,3 +107,131 @@ func (x *Extractor) Result() *Result {
 		Unresolved:   len(x.pending),
 	}
 }
+
+// Stream is the checkpointed incremental extractor behind the session
+// API. Where Extractor extends one live KB (and therefore resolves
+// early-batch sentences with less knowledge than a batch run would
+// have), Stream keeps the *parses* — each sentence is parsed exactly
+// once, on arrival — and materializes the KB by replay: every Replay
+// runs the semantic fixpoint from the accumulated core evidence over
+// the full ambiguous pool, so the result is bit-identical to Run over
+// the concatenation of all appended batches, extraction IDs and
+// iteration numbers included. Replaying is cheap relative to a full
+// rerun because the Hearst parse — the only per-sentence string work —
+// never repeats; the fixpoint is integer bookkeeping over parses.
+//
+// A Stream is single-writer: Append, Replay, Mark and Rewind must not
+// be called concurrently.
+type Stream struct {
+	cfg Config
+
+	// cores and pending hold unambiguous and ambiguous parses in
+	// arrival order — exactly the per-class order Run's sentence-order
+	// scan produces when batches arrive in corpus order.
+	cores       []hearst.Parse
+	pending     []hearst.Parse
+	unparseable int
+	sentences   int
+}
+
+// NewStream creates an empty checkpointed extractor.
+func NewStream(cfg Config) *Stream {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = DefaultConfig().MaxIterations
+	}
+	return &Stream{cfg: cfg}
+}
+
+// Sentences returns the number of sentences appended so far.
+func (s *Stream) Sentences() int { return s.sentences }
+
+// Pending returns the current size of the ambiguous parse pool.
+func (s *Stream) Pending() int { return len(s.pending) }
+
+// StreamMark is an opaque position in a Stream's append history,
+// captured by Mark and restored by Rewind.
+type StreamMark struct {
+	cores, pending, unparseable, sentences int
+}
+
+// Mark captures the stream's current position so a failed checkpoint
+// can be rolled back with Rewind.
+func (s *Stream) Mark() StreamMark {
+	return StreamMark{len(s.cores), len(s.pending), s.unparseable, s.sentences}
+}
+
+// Rewind truncates the stream back to a previous Mark, discarding every
+// sentence appended since. Append only ever appends, so truncation
+// restores the exact prior state.
+func (s *Stream) Rewind(m StreamMark) {
+	s.cores = s.cores[:m.cores]
+	s.pending = s.pending[:m.pending]
+	s.unparseable = m.unparseable
+	s.sentences = m.sentences
+}
+
+// Append parses one batch of sentences (fanning across
+// Config.Parallelism workers, merged in sentence order) and files each
+// parse as core (unambiguous) or pending (ambiguous). It returns the
+// number of parses added to each pool. No KB is touched — call Replay
+// to materialize the checkpoint.
+func (s *Stream) Append(batch []corpus.Sentence) (core, ambiguous int) {
+	parsed := parseAll(batch, s.cfg.workers(), s.cfg.Fault)
+	for i := range parsed {
+		if !parsed[i].ok {
+			s.unparseable++
+			continue
+		}
+		p := parsed[i].parse
+		if p.Ambiguous() {
+			s.pending = append(s.pending, p)
+			ambiguous++
+			continue
+		}
+		s.cores = append(s.cores, p)
+		core++
+	}
+	s.sentences += len(batch)
+	return core, ambiguous
+}
+
+// Replay materializes the batch-equivalent extraction over everything
+// appended so far: all core parses enter a fresh KB as iteration 1 in
+// arrival order, then the semantic iterations resolve the ambiguous
+// pool against a KB frozen per iteration — the same loop Run uses. The
+// result (KB contents, extraction IDs, iteration stats) is identical to
+// Run over the concatenation of every appended batch.
+func (s *Stream) Replay() *Result {
+	res := &Result{KB: kb.New()}
+	for _, p := range s.cores {
+		res.KB.AddExtraction(p.SentenceID, p.Candidates[0], p.Candidates, p.Instances, nil, 1)
+	}
+	res.Iterations = 1
+	res.PerIteration = append(res.PerIteration, IterStats{
+		Iteration:      1,
+		NewExtractions: len(s.cores),
+		DistinctPairs:  res.KB.NumPairs(),
+	})
+
+	pending := append([]hearst.Parse(nil), s.pending...)
+	workers := s.cfg.workers()
+	for iter := 2; iter <= s.cfg.MaxIterations && len(pending) > 0; iter++ {
+		resolved, still := resolvePending(res.KB, pending, workers, s.cfg.Fault)
+		if len(resolved) == 0 {
+			break
+		}
+		for _, r := range resolved {
+			res.KB.AddExtraction(r.parse.SentenceID, r.concept, r.parse.Candidates, r.parse.Instances, r.triggers, iter)
+		}
+		pending = still
+		res.Iterations = iter
+		res.PerIteration = append(res.PerIteration, IterStats{
+			Iteration:      iter,
+			NewExtractions: len(resolved),
+			DistinctPairs:  res.KB.NumPairs(),
+		})
+	}
+	res.Unparseable = s.unparseable
+	res.Unresolved = len(pending)
+	return res
+}

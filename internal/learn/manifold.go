@@ -26,6 +26,13 @@ func DefaultManifoldConfig() ManifoldConfig {
 	return ManifoldConfig{K: 5, LocalLambda: 0.1, MaxPoints: 500}
 }
 
+// ManifoldMatrix computes a task's manifold regularizer matrix A. It is
+// a pure function of the task's instances and the config — the identity
+// MultiTaskConfig.ManifoldOf providers must preserve.
+func ManifoldMatrix(t *Task, cfg ManifoldConfig) *linalg.Matrix {
+	return buildManifoldMatrix(t, cfg)
+}
+
 // buildManifoldMatrix computes A = X̃·(Σ_i S_i·L_i·S_iᵀ)·X̃ᵀ (Eq 17) over
 // all instances of the task, labeled and unlabeled alike. Rather than
 // materializing the n×n selection product, it accumulates the equivalent

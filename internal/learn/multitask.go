@@ -21,6 +21,13 @@ type MultiTaskConfig struct {
 	Seed int64
 	// Epsilon guards the D update against zero rows: Dii = 1/(2·max(ε,‖wi‖)).
 	Epsilon float64
+	// ManifoldOf, when non-nil, supplies each task's manifold matrix A
+	// (Eq 17) instead of building it from scratch. It is called with the
+	// effective (default-filled) ManifoldConfig. The matrix is a pure
+	// function of (task, config), so callers that keep tasks alive across
+	// training runs can memoize it — TrainMultiTask only reads A. A
+	// provider must return exactly ManifoldMatrix(t, cfg).
+	ManifoldOf func(t *Task, cfg ManifoldConfig) *linalg.Matrix
 }
 
 // DefaultMultiTaskConfig returns the settings used in experiments
@@ -78,6 +85,10 @@ func TrainMultiTask(tasks []*Task, cfg MultiTaskConfig, hook IterationHook) (*Mu
 	if cfg.Manifold.K <= 0 {
 		cfg.Manifold = def.Manifold
 	}
+	manifold := cfg.ManifoldOf
+	if manifold == nil {
+		manifold = ManifoldMatrix
+	}
 
 	var active []*Task
 	for _, t := range tasks {
@@ -106,7 +117,7 @@ func TrainMultiTask(tasks []*Task, cfg MultiTaskConfig, hook IterationHook) (*Mu
 			y:    y,
 			xxT:  linalg.Mul(xl, xl.T()),
 			xy:   linalg.Mul(xl, y),
-			a:    buildManifoldMatrix(t, cfg.Manifold),
+			a:    manifold(t, cfg.Manifold),
 			w:    linalg.NewMatrix(r, 3),
 		}
 		for j := range st.w.Data {

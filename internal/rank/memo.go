@@ -1,0 +1,110 @@
+package rank
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// Signature hashes the graph's full structure — nodes, core restart
+// weights, and weighted out-edges — into an FNV-64a digest. RandomWalk
+// is a pure function of (Graph, Config), and BuildGraph emits nodes and
+// edges in a deterministic order, so two graphs with equal signatures
+// produce bit-identical walk scores under the same configuration.
+// Computing the signature is O(V+E), far below the power iteration's
+// O(MaxIter·E), which is what makes cross-snapshot walk memoization pay.
+func (g *Graph) Signature() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	sep := []byte{0}
+	u64(uint64(len(g.Nodes)))
+	for i, name := range g.Nodes {
+		_, _ = h.Write([]byte(name))
+		_, _ = h.Write(sep)
+		if g.Core[i] {
+			u64(math.Float64bits(g.CoreWeight[i]))
+		} else {
+			u64(^uint64(0))
+		}
+	}
+	for u, edges := range g.Out {
+		if len(edges) == 0 {
+			continue
+		}
+		u64(uint64(u))
+		u64(uint64(len(edges)))
+		for _, e := range edges {
+			u64(uint64(e.To))
+			u64(math.Float64bits(e.Weight))
+		}
+	}
+	return h.Sum64()
+}
+
+// WalkMemo caches one random-walk result per concept across KB
+// snapshots, keyed by the concept's trigger-graph Signature. It exists
+// for the incremental ingest path: every checkpoint replays extraction
+// into a *fresh* KB, which resets the pointer-bound Cache, yet most
+// concepts' trigger graphs are unchanged from the previous checkpoint —
+// identical signature, identical scores, no power iteration.
+//
+// Install it as a Cache's walk implementation (Cache.SetWalk). A memo
+// is bound to a single walk Config; do not share one across caches with
+// different configurations. Returned score maps are shared and must be
+// treated as read-only, the same contract Cache itself has.
+type WalkMemo struct {
+	mu      sync.Mutex
+	entries map[string]walkEntry
+	hits    int
+	misses  int
+}
+
+type walkEntry struct {
+	sig    uint64
+	scores Scores
+}
+
+// NewWalkMemo returns an empty walk memo.
+func NewWalkMemo() *WalkMemo {
+	return &WalkMemo{entries: make(map[string]walkEntry)}
+}
+
+// Walk is a drop-in walk implementation for Cache.SetWalk: it returns
+// the memoized scores when the concept's graph signature is unchanged
+// and otherwise computes RandomWalk and replaces the concept's entry.
+func (m *WalkMemo) Walk(g *Graph, cfg Config) Scores {
+	sig := g.Signature()
+	m.mu.Lock()
+	e, ok := m.entries[g.Concept]
+	if ok && e.sig == sig {
+		m.hits++
+		m.mu.Unlock()
+		return e.scores
+	}
+	m.misses++
+	m.mu.Unlock()
+	s := RandomWalk(g, cfg)
+	m.mu.Lock()
+	m.entries[g.Concept] = walkEntry{sig: sig, scores: s}
+	m.mu.Unlock()
+	return s
+}
+
+// Stats reports memo hits and misses since creation.
+func (m *WalkMemo) Stats() (hits, misses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// Len returns the number of memoized concepts.
+func (m *WalkMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

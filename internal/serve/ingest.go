@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"driftclean/internal/corpus"
+	"driftclean/internal/fault"
+	"driftclean/internal/snapshot"
+)
+
+// IngestRun advances the underlying incremental pipeline by one
+// sentence batch and returns the new checkpoint's snapshot. The root
+// package's Session provides the canonical implementation (Ingest
+// followed by Publish); tests substitute stubs.
+type IngestRun func(ctx context.Context, batch []corpus.Sentence) (*snapshot.Snapshot, error)
+
+// Ingester bridges the write side of the incremental pipeline to the
+// read side of the service: each Ingest call runs one pipeline
+// checkpoint and, only on success, hot-swaps the resulting snapshot
+// into the service. On any failure the current snapshot is left
+// untouched and merely marked stale — readers keep getting complete,
+// consistent answers from the last good generation, never a torn view
+// of a half-applied batch. The pipeline itself rolls a failed batch
+// back (Session's failure atomicity), so the same batch can be retried
+// and a later success clears the stale flag via Swap.
+//
+// Ingest calls are serialized by an internal mutex, matching the
+// single-writer contract of the pipeline underneath.
+type Ingester struct {
+	svc   *Service
+	run   IngestRun
+	fault *fault.Injector
+
+	mu      sync.Mutex
+	batches int
+}
+
+// NewIngester builds an Ingester publishing run's snapshots to svc.
+// fault, when non-nil, is consulted at the "serve.ingest" site once per
+// Ingest call (chaos testing); nil is the production no-op.
+func NewIngester(svc *Service, run IngestRun, fi *fault.Injector) *Ingester {
+	return &Ingester{svc: svc, run: run, fault: fi}
+}
+
+// Batches returns the number of successfully ingested batches.
+func (g *Ingester) Batches() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.batches
+}
+
+// Ingest runs one pipeline checkpoint over the batch and publishes the
+// resulting snapshot, returning its generation. On failure the
+// service's snapshot is untouched and marked stale, and the error is
+// returned for the transport layer to surface.
+func (g *Ingester) Ingest(ctx context.Context, batch []corpus.Sentence) (generation uint64, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	if err := g.fault.Hit("serve.ingest"); err != nil {
+		g.svc.MarkStale(true)
+		return 0, fmt.Errorf("serve: ingest failed: %w", err)
+	}
+	snap, err := g.run(ctx, batch)
+	if err != nil {
+		g.svc.MarkStale(true)
+		return 0, fmt.Errorf("serve: ingest failed: %w", err)
+	}
+	g.svc.Swap(snap)
+	g.batches++
+	return snap.Generation(), nil
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"driftclean/internal/corpus"
+	"driftclean/internal/fault"
+	"driftclean/internal/snapshot"
+)
+
+// TestIngesterSwapsOnSuccess: each successful ingest publishes the
+// run's snapshot, bumps the batch counter and clears any stale flag.
+func TestIngesterSwapsOnSuccess(t *testing.T) {
+	svc := New(nil, Options{})
+	svc.MarkStale(true)
+	snap := snapshot.Freeze(chainKB(3))
+	ing := NewIngester(svc, func(ctx context.Context, batch []corpus.Sentence) (*snapshot.Snapshot, error) {
+		return snap, nil
+	}, nil)
+
+	gen, err := ing.Ingest(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if gen != snap.Generation() {
+		t.Fatalf("generation = %d, want %d", gen, snap.Generation())
+	}
+	if svc.Current() != snap {
+		t.Fatal("snapshot not swapped in")
+	}
+	if svc.Stale() {
+		t.Fatal("successful ingest must clear the stale flag")
+	}
+	if ing.Batches() != 1 {
+		t.Fatalf("Batches = %d, want 1", ing.Batches())
+	}
+}
+
+// TestIngesterFailureLeavesSnapshotUntouched: a failed run marks the
+// service stale but keeps serving the previous snapshot — never a torn
+// or missing view — and a retry that succeeds recovers fully.
+func TestIngesterFailureLeavesSnapshotUntouched(t *testing.T) {
+	good := snapshot.Freeze(chainKB(3))
+	svc := New(good, Options{})
+	next := snapshot.Freeze(chainKB(5))
+	boom := errors.New("pipeline exploded")
+	fail := true
+	ing := NewIngester(svc, func(ctx context.Context, batch []corpus.Sentence) (*snapshot.Snapshot, error) {
+		if fail {
+			return nil, boom
+		}
+		return next, nil
+	}, nil)
+
+	if _, err := ing.Ingest(context.Background(), nil); !errors.Is(err, boom) {
+		t.Fatalf("Ingest error = %v, want %v", err, boom)
+	}
+	if svc.Current() != good {
+		t.Fatal("failed ingest must leave the previous snapshot serving")
+	}
+	if !svc.Stale() {
+		t.Fatal("failed ingest must mark the service stale")
+	}
+	if ing.Batches() != 0 {
+		t.Fatalf("Batches = %d, want 0 after failure", ing.Batches())
+	}
+	if _, err := svc.Stats(context.Background()); err != nil {
+		t.Fatalf("queries must keep working on the stale snapshot: %v", err)
+	}
+
+	fail = false
+	if _, err := ing.Ingest(context.Background(), nil); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if svc.Current() != next || svc.Stale() {
+		t.Fatalf("retry must publish and clear stale (cur==next %v, stale %v)",
+			svc.Current() == next, svc.Stale())
+	}
+}
+
+// TestIngesterFaultSite: an injected serve.ingest fault fails the call
+// before the pipeline runs, with the same stale-but-serving contract.
+func TestIngesterFaultSite(t *testing.T) {
+	good := snapshot.Freeze(chainKB(3))
+	svc := New(good, Options{})
+	ran := false
+	fi := fault.New(1, map[string]fault.Rule{"serve.ingest": {FailFirst: 1}})
+	ing := NewIngester(svc, func(ctx context.Context, batch []corpus.Sentence) (*snapshot.Snapshot, error) {
+		ran = true
+		return snapshot.Freeze(chainKB(4)), nil
+	}, fi)
+
+	if _, err := ing.Ingest(context.Background(), nil); err == nil {
+		t.Fatal("injected fault must surface as an error")
+	}
+	if ran {
+		t.Fatal("injected fault must short-circuit before the pipeline runs")
+	}
+	if svc.Current() != good || !svc.Stale() {
+		t.Fatalf("fault must leave previous snapshot serving and stale (cur==good %v, stale %v)",
+			svc.Current() == good, svc.Stale())
+	}
+	if got := fi.Count("serve.ingest"); got != 1 {
+		t.Fatalf("site hit count = %d, want 1", got)
+	}
+
+	// The rule only fails the first hit; the second call goes through.
+	if _, err := ing.Ingest(context.Background(), nil); err != nil {
+		t.Fatalf("second ingest: %v", err)
+	}
+	if !ran || svc.Stale() {
+		t.Fatalf("second ingest must run the pipeline and clear stale (ran %v, stale %v)", ran, svc.Stale())
+	}
+}

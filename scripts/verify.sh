@@ -67,4 +67,7 @@ go test -run '^$' -bench . -benchtime=1x \
 echo "==> driftbench smoke (serial vs parallel A/B + old-vs-new fingerprint check)"
 go run ./cmd/driftbench -smoke -check BENCH_pipeline.json -out BENCH_pipeline.smoke.json
 
+echo "==> driftbench ingest smoke (incremental vs from-scratch fingerprint identity)"
+go run ./cmd/driftbench -scales ingest-smoke -check BENCH_pipeline.json -out BENCH_ingest.smoke.json
+
 echo "verify: all gates passed"
