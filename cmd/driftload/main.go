@@ -1,0 +1,135 @@
+// Command driftload is the serving load harness: it builds a KB, shards
+// it behind the scatter-gather router at every requested shard count,
+// verifies that responses are byte-identical across shard counts, then
+// sweeps closed-loop (fixed workers) and open-loop (fixed offered rate)
+// load over the fleet, reporting exact p50/p99/p999/max latencies per
+// cell. The artifact is BENCH_serve.json, next to BENCH_pipeline.json
+// (schema documented in DESIGN.md §11).
+//
+// Usage:
+//
+//	driftload                        # full sweep (shards 1/2/4/8)
+//	driftload -smoke                 # tiny sweep, for CI
+//	driftload -out serve.json        # artifact path (default BENCH_serve.json)
+//	driftload -sentences N           # corpus size of the KB under load
+//	driftload -shards 1,4,16         # shard counts to sweep
+//	driftload -duration 2s           # wall time per load cell
+//	driftload -seed 7                # query-mix seed
+//	driftload -inflight N -queue N   # per-shard admission control
+//	driftload -validate serve.json   # validate an existing artifact and exit
+//
+// The exit status is nonzero if responses diverge across shard counts
+// (sharding must be semantically invisible), if any load cell completes
+// no queries or reports incoherent percentiles, or if -validate finds a
+// malformed artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"driftclean/internal/bench"
+)
+
+func main() {
+	smoke := flag.Bool("smoke", false, "run the tiny CI sweep instead of the full one")
+	out := flag.String("out", "BENCH_serve.json", "artifact output path")
+	sentences := flag.Int("sentences", 0, "corpus size of the KB under load (0 keeps the sweep default)")
+	shardsCSV := flag.String("shards", "", `comma-separated shard counts to sweep, e.g. "1,4,16" (empty keeps the sweep default)`)
+	duration := flag.Duration("duration", 0, "wall time per load cell (0 keeps the sweep default)")
+	seed := flag.Int64("seed", 0, "query-mix seed (0 keeps the sweep default)")
+	inflight := flag.Int("inflight", 0, "per-shard admission: max concurrently executing queries (0 = unlimited)")
+	queue := flag.Int("queue", 0, "per-shard admission: queued queries beyond -inflight before shedding")
+	validate := flag.String("validate", "", "validate an existing artifact at this path and exit")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: driftload [-smoke] [-out FILE] [-sentences N] [-shards 1,4,16] [-duration 2s] [-seed N] [-validate FILE]")
+		os.Exit(2)
+	}
+
+	if *validate != "" {
+		if err := validateArtifact(*validate); err != nil {
+			fmt.Fprintf(os.Stderr, "driftload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("validate: %s is a well-formed serving artifact\n", *validate)
+		return
+	}
+
+	cfg := bench.DefaultServeConfig()
+	if *smoke {
+		cfg = bench.SmokeServeConfig()
+	}
+	if *sentences > 0 {
+		cfg.Sentences = *sentences
+	}
+	if *shardsCSV != "" {
+		counts, err := parseShardCounts(*shardsCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "driftload: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.ShardCounts = counts
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.MaxInflight = *inflight
+	cfg.QueueDepth = *queue
+	cfg.Progress = func(line string) { fmt.Println(line) }
+
+	res := bench.RunServe(cfg)
+	if err := res.WriteJSON(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nshard counts %v  identical=%v  cells=%d  artifact=%s\n",
+		cfg.ShardCounts, res.Identical, len(res.Cells), *out)
+	if !res.Identical {
+		fmt.Fprintf(os.Stderr, "driftload: responses diverged across shard counts: %v — sharding must be semantically invisible\n",
+			res.ResponseFingerprint)
+		os.Exit(1)
+	}
+	if err := bench.ValidateServe(res); err != nil {
+		fmt.Fprintf(os.Stderr, "driftload: malformed run: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseShardCounts parses the -shards CSV into positive ints.
+func parseShardCounts(csv string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards %q: each count must be a positive integer", csv)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// validateArtifact loads an artifact from disk and runs the schema and
+// coherence checks over it — the CI gate against malformed output.
+func validateArtifact(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading artifact: %w", err)
+	}
+	var res bench.ServeResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return fmt.Errorf("parsing artifact %s: %w", path, err)
+	}
+	if err := bench.ValidateServe(&res); err != nil {
+		return fmt.Errorf("artifact %s: %w", path, err)
+	}
+	return nil
+}

@@ -43,17 +43,17 @@ func newTestServer(t *testing.T, cfg handlerConfig, kbPath string) *httptest.Ser
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg.svc = serve.New(snap, serve.Options{})
-	}
-	if cfg.reload == nil {
-		svc := cfg.svc
-		cfg.reload = func() error {
-			next, err := freezeFile(kbPath)
-			if err != nil {
-				return err
+		svc := serve.New(snap, serve.Options{})
+		cfg.svc = svc
+		if cfg.reload == nil {
+			cfg.reload = func() error {
+				next, err := freezeFile(kbPath)
+				if err != nil {
+					return err
+				}
+				svc.Swap(next)
+				return nil
 			}
-			svc.Swap(next)
-			return nil
 		}
 	}
 	ts := httptest.NewServer(newHandler(cfg))
@@ -133,6 +133,19 @@ func TestEndpointsEndToEnd(t *testing.T) {
 		t.Errorf("drifted = %+v", drifted)
 	}
 
+	// Fleet-wide form: no concept parameter ranks across every concept
+	// and each row carries its concept.
+	code, body = get(t, ts.URL+"/v1/drifted?n=3")
+	if code != 200 {
+		t.Fatalf("fleet-wide drifted: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &drifted); err != nil {
+		t.Fatal(err)
+	}
+	if len(drifted) != 3 || drifted[0].Concept != "animal" || drifted[0].Name != "dingo" || drifted[0].Depth != 3 {
+		t.Errorf("fleet-wide drifted = %+v", drifted)
+	}
+
 	code, body = get(t, ts.URL+"/debug/vars")
 	if code != 200 || !strings.Contains(body, "snapshot_generation") {
 		t.Errorf("debug/vars: %d %s", code, body)
@@ -150,7 +163,7 @@ func TestMalformedRequests(t *testing.T) {
 		{"/v1/instances", 400},                                  // missing concept
 		{"/v1/explain?concept=animal", 400},                     // missing instance
 		{"/v1/explain?instance=dog", 400},                       // missing concept
-		{"/v1/drifted", 400},                                    // missing concept
+		{"/v1/drifted?n=potato", 400},                           // malformed n, fleet-wide form
 		{"/v1/drifted?concept=animal&n=potato", 400},            // malformed n
 		{"/v1/drifted?concept=animal&n=-3", 400},                // non-positive n
 		{"/v1/explain?concept=animal&instance=dog&n=zero", 400}, // malformed n

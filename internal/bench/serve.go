@@ -1,0 +1,508 @@
+// Serving benchmark: the driftload harness behind BENCH_serve.json.
+//
+// One pipeline run builds a KB; the harness then freezes it once and,
+// for each configured shard count, partitions that same snapshot behind
+// a serve.Router and drives a seeded query mix against it in-process —
+// closed-loop (a fixed worker pool, each worker issuing its next query
+// as soon as the last returns) and open-loop (a fixed offered rate,
+// arrivals independent of completions, the regime where queues actually
+// build). Every cell reports exact p50/p99/p999/max latencies computed
+// from the full sorted sample, never an approximation.
+//
+// Before any load runs, the harness fingerprints a canonical response
+// set (stats, listings, rankings, point lookups) at every shard count.
+// All fingerprints must be identical: sharding is required to be
+// invisible in responses, and the artifact proves it was checked — the
+// same role Identical plays in the pipeline benchmark.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"driftclean/internal/core"
+	"driftclean/internal/corpus"
+	"driftclean/internal/extract"
+	"driftclean/internal/serve"
+	"driftclean/internal/snapshot"
+	"driftclean/internal/world"
+)
+
+// ServeConfig parameterizes one serving-benchmark run.
+type ServeConfig struct {
+	// Sentences is the corpus size of the KB under load.
+	Sentences int
+	// ShardCounts is the fleet-size sweep; every count serves the same
+	// frozen snapshot.
+	ShardCounts []int
+	// ClosedWorkers are the closed-loop worker counts swept per shard
+	// count.
+	ClosedWorkers []int
+	// OpenRates are the open-loop offered rates (queries per second)
+	// swept per shard count.
+	OpenRates []int
+	// Duration is the wall time of each load cell.
+	Duration time.Duration
+	// Seed drives the query mix; equal seeds issue identical query
+	// sequences per worker.
+	Seed int64
+	// CacheSize, MaxInflight and QueueDepth configure every shard
+	// service (zero values: default cache, no admission control).
+	CacheSize   int
+	MaxInflight int
+	QueueDepth  int
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(string)
+}
+
+// DefaultServeConfig is the full sweep behind the committed
+// BENCH_serve.json.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Sentences:     12000,
+		ShardCounts:   []int{1, 2, 4, 8},
+		ClosedWorkers: []int{1, 4, 16},
+		OpenRates:     []int{500, 2000},
+		Duration:      1500 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// SmokeServeConfig is the tiny CI sweep; its value is the response-
+// identity check across shard counts, not the timings.
+func SmokeServeConfig() ServeConfig {
+	return ServeConfig{
+		Sentences:     3000,
+		ShardCounts:   []int{1, 2},
+		ClosedWorkers: []int{4},
+		OpenRates:     []int{200},
+		Duration:      150 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// LatencyStats summarizes one cell's latency sample. Percentiles are
+// exact order statistics of the sorted sample, in microseconds.
+type LatencyStats struct {
+	Count      int64   `json:"count"`
+	Errors     int64   `json:"errors"`
+	Shed       int64   `json:"shed"`
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  int64   `json:"p50_us"`
+	P99Micros  int64   `json:"p99_us"`
+	P999Micros int64   `json:"p999_us"`
+	MaxMicros  int64   `json:"max_us"`
+	// ThroughputRPS is completed queries per second of cell wall time.
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// ServeCell is one point of the saturation sweep: a (shard count, load
+// mode, intensity) combination and its measured latencies.
+type ServeCell struct {
+	Shards int `json:"shards"`
+	// Mode is "closed" (Workers issue back to back) or "open" (arrivals
+	// at OfferedRPS regardless of completions).
+	Mode       string       `json:"mode"`
+	Workers    int          `json:"workers,omitempty"`
+	OfferedRPS int          `json:"offered_rps,omitempty"`
+	DurationS  float64      `json:"duration_s"`
+	Latency    LatencyStats `json:"latency"`
+}
+
+// ServeResult is the full artifact written to BENCH_serve.json.
+type ServeResult struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	CPUs          int    `json:"cpus"`
+	GoMaxProcs    int    `json:"gomaxprocs"`
+	GoVersion     string `json:"go_version"`
+	Sentences     int    `json:"sentences"`
+	Seed          int64  `json:"seed"`
+	// Concepts and Pairs describe the KB under load.
+	Concepts int `json:"concepts"`
+	Pairs    int `json:"kb_pairs"`
+	// ResponseFingerprint maps each shard count (as a decimal string,
+	// JSON keys being strings) to the fingerprint of its canonical
+	// response set; Identical asserts they all match.
+	ResponseFingerprint map[string]string `json:"response_fingerprint"`
+	Identical           bool              `json:"identical"`
+	Cells               []ServeCell       `json:"cells"`
+}
+
+// RunServe builds the KB, verifies response identity across every shard
+// count, runs the load sweep and assembles the artifact.
+func RunServe(cfg ServeConfig) *ServeResult {
+	res := &ServeResult{
+		GeneratedUnix:       time.Now().Unix(),
+		CPUs:                runtime.NumCPU(),
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		GoVersion:           runtime.Version(),
+		Sentences:           cfg.Sentences,
+		Seed:                cfg.Seed,
+		ResponseFingerprint: make(map[string]string, len(cfg.ShardCounts)),
+	}
+
+	snap := buildServeSnapshot(cfg.Sentences)
+	res.Concepts = snap.Stats().Concepts
+	res.Pairs = snap.NumPairs()
+	space := newQuerySpace(snap)
+	if cfg.Progress != nil {
+		cfg.Progress(fmt.Sprintf("snapshot ready: %d concepts, %d pairs", res.Concepts, res.Pairs))
+	}
+
+	res.Identical = true
+	first := ""
+	for _, shards := range cfg.ShardCounts {
+		router := buildServeFleet(snap, shards, cfg)
+		fp := responseFingerprint(router, space)
+		res.ResponseFingerprint[fmt.Sprintf("%d", shards)] = fp
+		if first == "" {
+			first = fp
+		} else if fp != first {
+			res.Identical = false
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("shards=%d response fingerprint %s", shards, fp))
+		}
+
+		for _, workers := range cfg.ClosedWorkers {
+			cell := runClosedCell(buildServeFleet(snap, shards, cfg), space, cfg, shards, workers)
+			reportServe(cfg.Progress, cell)
+			res.Cells = append(res.Cells, cell)
+		}
+		for _, rate := range cfg.OpenRates {
+			cell := runOpenCell(buildServeFleet(snap, shards, cfg), space, cfg, shards, rate)
+			reportServe(cfg.Progress, cell)
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res
+}
+
+// buildServeSnapshot runs world → corpus → extraction and freezes the
+// raw extracted KB. Cleaning is skipped: the serving layer is
+// indifferent to pair quality, and the uncleaned KB is the larger,
+// harder-to-serve one.
+func buildServeSnapshot(sentences int) *snapshot.Snapshot {
+	cfg := core.DefaultConfig()
+	cfg.Corpus.NumSentences = sentences
+	w := world.New(cfg.World)
+	c := corpus.Generate(w, cfg.Corpus)
+	ext := extract.Run(c, cfg.Extract)
+	return snapshot.Freeze(ext.KB)
+}
+
+// buildServeFleet partitions snap across the shard count behind a
+// strict router, exactly as driftserve -shards wires it.
+func buildServeFleet(snap *snapshot.Snapshot, shards int, cfg ServeConfig) *serve.Router {
+	ring := serve.NewRing(shards, 0)
+	parts := snap.Partition(shards, ring.Owner)
+	svcs := make([]*serve.Service, shards)
+	for i := range svcs {
+		svcs[i] = serve.New(parts[i], serve.Options{
+			CacheSize:   cfg.CacheSize,
+			MaxInflight: cfg.MaxInflight,
+			QueueDepth:  cfg.QueueDepth,
+		})
+	}
+	return serve.NewRouter(svcs, ring, serve.RouterOptions{})
+}
+
+// querySpace is the concept/instance population queries draw from.
+type querySpace struct {
+	concepts  []string
+	instances [][]string // instances[i] belongs to concepts[i]
+}
+
+func newQuerySpace(snap *snapshot.Snapshot) *querySpace {
+	qs := &querySpace{concepts: snap.Concepts()}
+	qs.instances = make([][]string, len(qs.concepts))
+	for i, c := range qs.concepts {
+		qs.instances[i] = snap.Instances(c)
+	}
+	if len(qs.concepts) == 0 {
+		panic("bench: serving snapshot has no concepts to query")
+	}
+	return qs
+}
+
+// issue runs one query drawn from rng against the router: a mix that
+// touches every endpoint, dominated by the point lookups a serving KB
+// actually sees. Returns whether the query was shed by admission.
+func (qs *querySpace) issue(ctx context.Context, r *serve.Router, rng *rand.Rand) (shed bool, err error) {
+	ci := rng.Intn(len(qs.concepts))
+	concept := qs.concepts[ci]
+	switch pick := rng.Intn(10); {
+	case pick < 4: // 40% instance listings
+		_, err = r.Instances(ctx, concept)
+	case pick < 7: // 30% explains
+		insts := qs.instances[ci]
+		if len(insts) == 0 {
+			_, err = r.Instances(ctx, concept)
+			break
+		}
+		_, err = r.Explain(ctx, concept, insts[rng.Intn(len(insts))], 3)
+	case pick < 8: // 10% concept-scoped drift rankings
+		_, err = r.Drifted(ctx, concept, 10)
+	case pick < 9: // 10% fleet-wide drift rankings (scatter-gather)
+		_, err = r.Drifted(ctx, "", 20)
+	default: // 10% concept listings (scatter-gather)
+		_, err = r.Concepts(ctx)
+	}
+	if err != nil && isShed(err) {
+		return true, nil
+	}
+	return false, err
+}
+
+// isShed reports whether err is (or wraps) an admission shed.
+// ErrOverloaded may arrive wrapped in ErrShard when a gather observed
+// the shed on one of its shards.
+func isShed(err error) bool {
+	return errors.Is(err, serve.ErrOverloaded)
+}
+
+// sample accumulates one cell's latencies; guarded by mu because open-
+// loop arrivals complete on arbitrary goroutines.
+type sample struct {
+	mu     sync.Mutex
+	nanos  []int64
+	errors int64
+	shed   int64
+}
+
+func (s *sample) add(d time.Duration, shed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case shed:
+		s.shed++
+	case err != nil:
+		s.errors++
+	default:
+		s.nanos = append(s.nanos, int64(d))
+	}
+}
+
+// stats reduces the sample to the exported summary.
+func (s *sample) stats(wall time.Duration) LatencyStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := LatencyStats{
+		Count:  int64(len(s.nanos)),
+		Errors: s.errors,
+		Shed:   s.shed,
+	}
+	if wall > 0 {
+		ls.ThroughputRPS = float64(len(s.nanos)) / wall.Seconds()
+	}
+	if len(s.nanos) == 0 {
+		return ls
+	}
+	sort.Slice(s.nanos, func(i, j int) bool { return s.nanos[i] < s.nanos[j] })
+	var sum int64
+	for _, n := range s.nanos {
+		sum += n
+	}
+	us := int64(time.Microsecond)
+	ls.MeanMicros = float64(sum) / float64(len(s.nanos)) / float64(us)
+	ls.P50Micros = percentile(s.nanos, 0.50) / us
+	ls.P99Micros = percentile(s.nanos, 0.99) / us
+	ls.P999Micros = percentile(s.nanos, 0.999) / us
+	ls.MaxMicros = s.nanos[len(s.nanos)-1] / us
+	return ls
+}
+
+// percentile returns the exact q-quantile of sorted (nearest-rank on
+// the zero-based index).
+func percentile(sorted []int64, q float64) int64 {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// runClosedCell drives `workers` goroutines, each issuing queries back
+// to back until the cell duration elapses.
+func runClosedCell(router *serve.Router, space *querySpace, cfg ServeConfig, shards, workers int) ServeCell {
+	var smp sample
+	ctx := context.Background()
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				shed, err := space.issue(ctx, router, rng)
+				smp.add(time.Since(t0), shed, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return ServeCell{
+		Shards:    shards,
+		Mode:      "closed",
+		Workers:   workers,
+		DurationS: wall.Seconds(),
+		Latency:   smp.stats(wall),
+	}
+}
+
+// runOpenCell offers queries at a fixed rate for the cell duration:
+// arrivals are scheduled on the clock, not gated on completions, so a
+// fleet slower than the offered rate accumulates genuine queueing
+// delay — the regime where p99/p999 and admission control earn their
+// keep.
+func runOpenCell(router *serve.Router, space *querySpace, cfg ServeConfig, shards, rate int) ServeCell {
+	var smp sample
+	ctx := context.Background()
+	interval := time.Second / time.Duration(rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	arrivals := int(cfg.Duration / interval)
+
+	// One seeded stream per arrival index keeps the workload independent
+	// of completion interleaving.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < arrivals; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*104729))
+			t0 := time.Now()
+			shed, err := space.issue(ctx, router, rng)
+			smp.add(time.Since(t0), shed, err)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return ServeCell{
+		Shards:     shards,
+		Mode:       "open",
+		OfferedRPS: rate,
+		DurationS:  wall.Seconds(),
+		Latency:    smp.stats(wall),
+	}
+}
+
+// responseFingerprint hashes a canonical response set — stats, the full
+// concept listing, fleet-wide and per-concept drift rankings, instance
+// listings and a provenance explain per concept — through their JSON
+// encodings, so "byte-identical responses" is checked over the literal
+// wire format.
+func responseFingerprint(router *serve.Router, space *querySpace) string {
+	ctx := context.Background()
+	h := fnv.New64a()
+	feed := func(v any, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("bench: fingerprint query failed: %v", err))
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(fmt.Sprintf("bench: fingerprint encoding failed: %v", err))
+		}
+		_, _ = h.Write(b)
+		_, _ = h.Write([]byte{0x1f})
+	}
+
+	st, err := router.Stats(ctx)
+	// Generation is process-global state, not response content: two runs
+	// of this process freeze different generation numbers for the same
+	// KB. The shard-count comparison shares one freeze, but zeroing it
+	// also keeps fingerprints comparable across artifact regenerations.
+	st.Generation = 0
+	feed(st, err)
+	cs, err := router.Concepts(ctx)
+	feed(cs, err)
+	dr, err := router.Drifted(ctx, "", 100)
+	feed(dr, err)
+	for i, c := range space.concepts {
+		ins, err := router.Instances(ctx, c)
+		feed(ins, err)
+		dr, err := router.Drifted(ctx, c, 5)
+		feed(dr, err)
+		if insts := space.instances[i]; len(insts) > 0 {
+			ex, err := router.Explain(ctx, c, insts[0], 3)
+			feed(ex, err)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func reportServe(progress func(string), c ServeCell) {
+	if progress == nil {
+		return
+	}
+	load := fmt.Sprintf("workers=%d", c.Workers)
+	if c.Mode == "open" {
+		load = fmt.Sprintf("offered=%drps", c.OfferedRPS)
+	}
+	progress(fmt.Sprintf("shards=%d %-6s %-14s %7.0f rps  p50 %5dus  p99 %6dus  p999 %6dus  max %6dus  shed %d err %d",
+		c.Shards, c.Mode, load, c.Latency.ThroughputRPS,
+		c.Latency.P50Micros, c.Latency.P99Micros, c.Latency.P999Micros, c.Latency.MaxMicros,
+		c.Latency.Shed, c.Latency.Errors))
+}
+
+// ValidateServe checks an artifact's internal consistency: the identity
+// gate must have passed, at least two shard counts must have been
+// swept, every cell must hold a coherent latency summary. CI runs this
+// against the freshly produced smoke artifact so a malformed or
+// shortcut run fails loudly.
+func ValidateServe(r *ServeResult) error {
+	if !r.Identical {
+		return fmt.Errorf("bench: response fingerprints diverge across shard counts: %v", r.ResponseFingerprint)
+	}
+	if len(r.ResponseFingerprint) < 2 {
+		return fmt.Errorf("bench: sweep covered %d shard counts, need at least 2 for the identity gate", len(r.ResponseFingerprint))
+	}
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("bench: artifact holds no load cells")
+	}
+	for i, c := range r.Cells {
+		l := c.Latency
+		switch {
+		case c.Shards < 1:
+			return fmt.Errorf("bench: cell %d: invalid shard count %d", i, c.Shards)
+		case c.Mode != "closed" && c.Mode != "open":
+			return fmt.Errorf("bench: cell %d: unknown mode %q", i, c.Mode)
+		case l.Count <= 0:
+			return fmt.Errorf("bench: cell %d (%s shards=%d): no completed queries", i, c.Mode, c.Shards)
+		case l.P50Micros > l.P99Micros || l.P99Micros > l.P999Micros || l.P999Micros > l.MaxMicros:
+			return fmt.Errorf("bench: cell %d: percentiles out of order: p50=%d p99=%d p999=%d max=%d",
+				i, l.P50Micros, l.P99Micros, l.P999Micros, l.MaxMicros)
+		case l.Errors > 0:
+			return fmt.Errorf("bench: cell %d: %d queries failed (sheds are reported separately)", i, l.Errors)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the artifact, pretty-printed, to path.
+func (r *ServeResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding serve artifact: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing serve artifact: %w", err)
+	}
+	return nil
+}

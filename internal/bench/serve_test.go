@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyServeConfig is the smallest sweep that still exercises the
+// identity gate (two shard counts) and both load modes.
+func tinyServeConfig() ServeConfig {
+	return ServeConfig{
+		Sentences:     1200,
+		ShardCounts:   []int{1, 3},
+		ClosedWorkers: []int{2},
+		OpenRates:     []int{100},
+		Duration:      40 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// TestRunServeProducesCoherentArtifact: one end-to-end harness run must
+// pass the identity gate, fill every cell, validate cleanly and
+// round-trip through WriteJSON.
+func TestRunServeProducesCoherentArtifact(t *testing.T) {
+	res := RunServe(tinyServeConfig())
+
+	if !res.Identical {
+		t.Fatalf("responses diverged across shard counts: %v", res.ResponseFingerprint)
+	}
+	if len(res.ResponseFingerprint) != 2 {
+		t.Fatalf("fingerprints = %v, want one per shard count", res.ResponseFingerprint)
+	}
+	if got, want := len(res.Cells), 2*2; got != want {
+		t.Fatalf("cells = %d, want %d (2 shard counts x 2 modes)", got, want)
+	}
+	for _, c := range res.Cells {
+		if c.Latency.Count == 0 {
+			t.Errorf("cell shards=%d mode=%s completed no queries", c.Shards, c.Mode)
+		}
+		if c.Latency.Errors != 0 {
+			t.Errorf("cell shards=%d mode=%s had %d failed queries", c.Shards, c.Mode, c.Latency.Errors)
+		}
+	}
+	if err := ValidateServe(res); err != nil {
+		t.Fatalf("ValidateServe on a fresh run: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "serve.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+}
+
+// TestValidateServeRejectsMalformedArtifacts: each coherence rule fires
+// on the artifact shape it guards against.
+func TestValidateServeRejectsMalformedArtifacts(t *testing.T) {
+	good := func() *ServeResult {
+		return &ServeResult{
+			Identical:           true,
+			ResponseFingerprint: map[string]string{"1": "a", "2": "a"},
+			Cells: []ServeCell{{
+				Shards: 1, Mode: "closed", Workers: 2,
+				Latency: LatencyStats{Count: 10, P50Micros: 1, P99Micros: 2, P999Micros: 3, MaxMicros: 4},
+			}},
+		}
+	}
+	if err := ValidateServe(good()); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*ServeResult)
+		want   string
+	}{
+		{"diverged", func(r *ServeResult) { r.Identical = false }, "diverge"},
+		{"one shard count", func(r *ServeResult) { delete(r.ResponseFingerprint, "2") }, "at least 2"},
+		{"no cells", func(r *ServeResult) { r.Cells = nil }, "no load cells"},
+		{"no queries", func(r *ServeResult) { r.Cells[0].Latency.Count = 0 }, "no completed queries"},
+		{"bad mode", func(r *ServeResult) { r.Cells[0].Mode = "sideways" }, "unknown mode"},
+		{"bad shards", func(r *ServeResult) { r.Cells[0].Shards = 0 }, "invalid shard count"},
+		{"unordered percentiles", func(r *ServeResult) { r.Cells[0].Latency.P99Micros = 9999 }, "out of order"},
+		{"errors", func(r *ServeResult) { r.Cells[0].Latency.Errors = 3 }, "failed"},
+	}
+	for _, tc := range cases {
+		r := good()
+		tc.mutate(r)
+		err := ValidateServe(r)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPercentileExact: percentiles are exact order statistics.
+func TestPercentileExact(t *testing.T) {
+	sorted := make([]int64, 1000)
+	for i := range sorted {
+		sorted[i] = int64(i + 1) // 1..1000
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 1},
+		{0.5, 500},
+		{0.99, 990},
+		{0.999, 999},
+		{1, 1000},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(1..1000, %v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile([]int64{42}, 0.999); got != 42 {
+		t.Errorf("singleton percentile = %d, want 42", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -62,7 +63,11 @@ func (kb *KB) sortedPairKeys() []Pair {
 	return out
 }
 
-// Read deserializes a KB previously written with WriteTo.
+// Read deserializes a KB previously written with WriteTo. The wire
+// state is validated before it becomes a live KB: a truncated or
+// corrupted snapshot must fail here, with a descriptive error, rather
+// than load "successfully" and panic at query time when an
+// out-of-range extraction index is finally dereferenced.
 func Read(r io.Reader) (*KB, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -88,6 +93,18 @@ func Read(r io.Reader) (*KB, error) {
 	}
 	for _, ps := range snap.Pairs {
 		p := Pair{ps.Concept, ps.Instance}
+		if _, dup := kb.pairs[p]; dup {
+			return nil, fmt.Errorf("kb: snapshot lists pair %s twice", p)
+		}
+		if ps.Count < 0 {
+			return nil, fmt.Errorf("kb: pair %s has negative count %d", p, ps.Count)
+		}
+		for _, id := range ps.Extractions {
+			if id < 0 || id >= len(kb.extractions) {
+				return nil, fmt.Errorf("kb: pair %s references extraction %d, but the snapshot holds %d extractions",
+					p, id, len(kb.extractions))
+			}
+		}
 		info := &PairInfo{Count: ps.Count, FirstIter: ps.FirstIter, Extractions: ps.Extractions}
 		kb.pairs[p] = info
 		m := kb.byConcept[p.Concept]
@@ -100,22 +117,55 @@ func Read(r io.Reader) (*KB, error) {
 	return kb, nil
 }
 
-// SaveFile writes the KB snapshot to a file.
+// SaveFile writes the KB snapshot to a file, atomically: the bytes go
+// to a temporary file in the target's directory, are fsynced, and only
+// then renamed over the target. A crash or full disk mid-write can
+// never leave a torn snapshot where a good one used to be — the old
+// file survives intact until the new one is durably complete.
 func (kb *KB) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return atomicWriteFile(path, func(w io.Writer) error {
+		_, err := kb.WriteTo(w)
+		return err
+	})
+}
+
+// atomicWriteFile streams write's output into path via a same-directory
+// temp file, fsync and rename. On any failure the temp file is removed
+// and the previous contents of path are untouched.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("kb: %w", err)
+		return fmt.Errorf("kb: creating temp snapshot: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		_ = f.Close()
+		_ = os.Remove(tmp)
 	}
 	w := bufio.NewWriter(f)
-	if _, err := kb.WriteTo(w); err != nil {
-		_ = f.Close() // already failing; the write error wins
+	if err := write(w); err != nil {
+		cleanup() // already failing; the write error wins
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		_ = f.Close() // already failing; the flush error wins
-		return fmt.Errorf("kb: %w", err)
+		cleanup()
+		return fmt.Errorf("kb: flushing snapshot: %w", err)
 	}
-	return f.Close()
+	// Sync before rename: the rename must never become visible while the
+	// data behind it is still only in the page cache.
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("kb: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("kb: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("kb: publishing snapshot: %w", err)
+	}
+	return nil
 }
 
 // LoadFile reads a KB snapshot from a file.

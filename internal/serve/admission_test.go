@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"driftclean/internal/snapshot"
+)
+
+// blockingQuery issues one query through the service's shared do() path
+// whose compute blocks until release is closed. Distinct qkeys keep the
+// singleflight group from coalescing the requests.
+func blockingQuery(svc *Service, qkey string, entered chan<- struct{}, release <-chan struct{}) error {
+	_, err := svc.do(context.Background(), "stats", qkey, func(*snapshot.Snapshot) (any, error) {
+		entered <- struct{}{}
+		<-release
+		return StatsResult{}, nil
+	})
+	return err
+}
+
+// TestAdmissionShedsBeyondQueueDepth: with MaxInflight=1 and
+// QueueDepth=1, the first query executes, the second waits, and the
+// third is shed immediately with ErrOverloaded — then everything
+// settles once the slot frees.
+func TestAdmissionShedsBeyondQueueDepth(t *testing.T) {
+	svc, _ := testService(t, 4, Options{MaxInflight: 1, QueueDepth: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() { defer wg.Done(); errs[0] = blockingQuery(svc, "q0", entered, release) }()
+	<-entered // first query holds the only execution slot
+
+	wg.Add(1)
+	go func() { defer wg.Done(); errs[1] = blockingQuery(svc, "q1", entered, release) }()
+	waitFor(t, func() bool { return svc.adm.waiting.Load() == 1 })
+
+	// Queue full: the third query must shed, not block.
+	start := time.Now()
+	_, err := svc.Stats(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third query err = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shed took %v; must be immediate, not queued", d)
+	}
+
+	close(release)
+	<-entered // queued query proceeds into compute once the slot frees
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+	if got := svc.Metrics().Shed; got != 1 {
+		t.Errorf("Metrics().Shed = %d, want 1", got)
+	}
+}
+
+// TestAdmissionQueuedCallerCanGiveUp: a query waiting for a slot honors
+// its context instead of waiting forever.
+func TestAdmissionQueuedCallerCanGiveUp(t *testing.T) {
+	svc, _ := testService(t, 4, Options{MaxInflight: 1, QueueDepth: 4})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+
+	go func() { _ = blockingQuery(svc, "hold", entered, release) }()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Stats(ctx)
+		done <- err
+	}()
+	waitFor(t, func() bool { return svc.adm.waiting.Load() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued query err = %v, want context.Canceled", err)
+	}
+	if got := svc.Metrics().Shed; got != 0 {
+		t.Errorf("a canceled wait is not a shed; Shed = %d", got)
+	}
+}
+
+// TestAdmissionDisabledIsUnbounded: MaxInflight=0 leaves admission off
+// — arbitrary concurrency, nothing shed.
+func TestAdmissionDisabledIsUnbounded(t *testing.T) {
+	svc, _ := testService(t, 4, Options{})
+	if svc.adm != nil {
+		t.Fatal("MaxInflight=0 must disable admission control")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := svc.Drifted(context.Background(), "c", 1+i%4); err != nil {
+				t.Errorf("query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := svc.Metrics().Shed; got != 0 {
+		t.Errorf("Shed = %d, want 0", got)
+	}
+}
+
+// TestAdmissionConcurrencyCap: with MaxInflight=2 and a deep queue, no
+// more than two computes ever run at once even under a burst.
+func TestAdmissionConcurrencyCap(t *testing.T) {
+	svc, _ := testService(t, 4, Options{MaxInflight: 2, QueueDepth: 64})
+	var mu sync.Mutex
+	inflight, peak := 0, 0
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := svc.do(context.Background(), "stats", "burst-"+strconv.Itoa(i), func(*snapshot.Snapshot) (any, error) {
+				mu.Lock()
+				inflight++
+				if inflight > peak {
+					peak = inflight
+				}
+				mu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+				mu.Lock()
+				inflight--
+				mu.Unlock()
+				return StatsResult{}, nil
+			})
+			if err != nil {
+				t.Errorf("burst query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if peak > 2 {
+		t.Errorf("peak inflight = %d, want <= 2", peak)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"driftclean/internal/corpus"
 	"driftclean/internal/fault"
@@ -33,8 +34,8 @@ type Ingester struct {
 	run   IngestRun
 	fault *fault.Injector
 
-	mu      sync.Mutex
-	batches int
+	mu      sync.Mutex // serializes Ingest (single-writer pipeline contract)
+	batches atomic.Int64
 }
 
 // NewIngester builds an Ingester publishing run's snapshots to svc.
@@ -44,11 +45,12 @@ func NewIngester(svc *Service, run IngestRun, fi *fault.Injector) *Ingester {
 	return &Ingester{svc: svc, run: run, fault: fi}
 }
 
-// Batches returns the number of successfully ingested batches.
+// Batches returns the number of successfully ingested batches. It reads
+// an atomic counter rather than taking the ingest mutex, so monitoring
+// endpoints polling it never block behind an in-flight (possibly slow
+// or wedged) pipeline checkpoint.
 func (g *Ingester) Batches() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.batches
+	return int(g.batches.Load())
 }
 
 // Ingest runs one pipeline checkpoint over the batch and publishes the
@@ -69,6 +71,6 @@ func (g *Ingester) Ingest(ctx context.Context, batch []corpus.Sentence) (generat
 		return 0, fmt.Errorf("serve: ingest failed: %w", err)
 	}
 	g.svc.Swap(snap)
-	g.batches++
+	g.batches.Add(1)
 	return snap.Generation(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"driftclean/internal/corpus"
 	"driftclean/internal/fault"
@@ -77,6 +78,48 @@ func TestIngesterFailureLeavesSnapshotUntouched(t *testing.T) {
 	if svc.Current() != next || svc.Stale() {
 		t.Fatalf("retry must publish and clear stale (cur==next %v, stale %v)",
 			svc.Current() == next, svc.Stale())
+	}
+}
+
+// TestBatchesDoesNotBlockBehindIngest: Batches is a monitoring read and
+// must return while an Ingest call is mid-pipeline. The old
+// implementation took the ingest mutex, so a slow or wedged checkpoint
+// froze every health endpoint polling the counter; this test deadlocks
+// (and times out) on that code.
+func TestBatchesDoesNotBlockBehindIngest(t *testing.T) {
+	svc := New(snapshot.Freeze(chainKB(3)), Options{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ing := NewIngester(svc, func(ctx context.Context, batch []corpus.Sentence) (*snapshot.Snapshot, error) {
+		close(entered)
+		<-release
+		return snapshot.Freeze(chainKB(4)), nil
+	}, nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := ing.Ingest(context.Background(), nil); err != nil {
+			t.Errorf("Ingest: %v", err)
+		}
+	}()
+	<-entered // the ingest mutex is now held, pipeline mid-checkpoint
+
+	got := make(chan int, 1)
+	go func() { got <- ing.Batches() }()
+	select {
+	case n := <-got:
+		if n != 0 {
+			t.Errorf("Batches mid-ingest = %d, want 0 (batch not yet published)", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Batches() blocked behind an in-flight Ingest")
+	}
+
+	close(release)
+	<-done
+	if got := ing.Batches(); got != 1 {
+		t.Errorf("Batches after ingest = %d, want 1", got)
 	}
 }
 

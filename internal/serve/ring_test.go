@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"strconv"
+	"testing"
+)
+
+// ringKeys generates a deterministic key population for distribution
+// and consistency checks.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "concept-" + strconv.Itoa(i)
+	}
+	return keys
+}
+
+// TestRingDeterministic: two rings built from the same parameters agree
+// on every owner — ownership is a pure function of (shards, replicas,
+// concept), the property every process in the fleet relies on.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(5, 0)
+	b := NewRing(5, 0)
+	for _, k := range ringKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %q: %d vs %d", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingOwnerInRange: every owner is a valid shard index, at every
+// shard count including the degenerate ones.
+func TestRingOwnerInRange(t *testing.T) {
+	keys := ringKeys(500)
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		r := NewRing(shards, 32)
+		if r.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), shards)
+		}
+		for _, k := range keys {
+			if o := r.Owner(k); o < 0 || o >= shards {
+				t.Fatalf("Owner(%q) = %d, out of [0,%d)", k, o, shards)
+			}
+		}
+	}
+}
+
+// TestRingClampsDegenerateInputs: shard counts below one collapse to a
+// single shard that owns everything.
+func TestRingClampsDegenerateInputs(t *testing.T) {
+	for _, shards := range []int{0, -3} {
+		r := NewRing(shards, 0)
+		if r.Shards() != 1 {
+			t.Fatalf("NewRing(%d) shards = %d, want 1", shards, r.Shards())
+		}
+		if o := r.Owner("anything"); o != 0 {
+			t.Fatalf("single-shard owner = %d, want 0", o)
+		}
+	}
+}
+
+// TestRingDistribution: with the default vnode count, 8 shards over a
+// few thousand keys each own a reasonable share — no shard starves and
+// no shard hogs. The bound is loose (2x of uniform either way); the
+// test guards against a broken hash or a wrap bug collapsing ownership,
+// not against statistical noise.
+func TestRingDistribution(t *testing.T) {
+	const shards, nkeys = 8, 4000
+	r := NewRing(shards, 0)
+	counts := make([]int, shards)
+	for _, k := range ringKeys(nkeys) {
+		counts[r.Owner(k)]++
+	}
+	uniform := nkeys / shards
+	for s, c := range counts {
+		if c < uniform/2 || c > uniform*2 {
+			t.Errorf("shard %d owns %d keys (uniform %d): distribution collapsed (%v)",
+				s, c, uniform, counts)
+		}
+	}
+}
+
+// TestRingConsistencyUnderGrowth: growing the fleet from n to n+1
+// shards must remap roughly 1/(n+1) of the keys — the consistent-
+// hashing property. A modulo-style hash would remap nearly all of them;
+// the test allows up to twice the ideal fraction.
+func TestRingConsistencyUnderGrowth(t *testing.T) {
+	keys := ringKeys(4000)
+	for _, n := range []int{3, 7} {
+		before, after := NewRing(n, 0), NewRing(n+1, 0)
+		moved := 0
+		for _, k := range keys {
+			if before.Owner(k) != after.Owner(k) {
+				moved++
+			}
+		}
+		ideal := len(keys) / (n + 1)
+		if moved > 2*ideal {
+			t.Errorf("%d -> %d shards moved %d/%d keys, want <= %d (2x ideal %d)",
+				n, n+1, moved, len(keys), 2*ideal, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("%d -> %d shards moved no keys: new shard owns nothing", n, n+1)
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"testing"
+
+	"driftclean/internal/fault"
+	"driftclean/internal/kb"
+	"driftclean/internal/snapshot"
+)
+
+// fleetKB builds a KB with nc concepts whose trigger chains have varied
+// lengths, so drift depths differ across concepts and the fleet-wide
+// ranking genuinely interleaves shards.
+func fleetKB(nc int) *kb.KB {
+	k := kb.New()
+	id := 0
+	for c := 0; c < nc; c++ {
+		concept := "concept-" + strconv.Itoa(c)
+		chain := 2 + c%5
+		for i := 0; i < chain; i++ {
+			inst := "inst-" + strconv.Itoa(i)
+			var trig []string
+			if i > 0 {
+				trig = []string{"inst-" + strconv.Itoa(i-1)}
+			}
+			k.AddExtraction(id, concept, []string{concept}, []string{inst}, trig, c+i+1)
+			id++
+		}
+	}
+	return k
+}
+
+// buildFleet partitions snap across the given shard count and returns
+// the router plus its shard services. perShard lets a test give one
+// shard special options (fault injection); nil means defaults.
+func buildFleet(t *testing.T, snap *snapshot.Snapshot, shards int, perShard func(i int) Options, ropts RouterOptions) (*Router, []*Service) {
+	t.Helper()
+	ring := NewRing(shards, 32)
+	parts := snap.Partition(shards, ring.Owner)
+	svcs := make([]*Service, shards)
+	for i := range svcs {
+		opts := Options{}
+		if perShard != nil {
+			opts = perShard(i)
+		}
+		svcs[i] = New(parts[i], opts)
+	}
+	return NewRouter(svcs, ring, ropts), svcs
+}
+
+// asJSON canonicalizes a response for byte comparison.
+func asJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// TestRouterByteIdenticalAcrossShardCounts is the tentpole acceptance
+// gate: for the same snapshot, every response a router serves is byte
+// for byte what a single unsharded service serves, at every shard
+// count. Sharding must be a capacity decision, never a semantic one.
+func TestRouterByteIdenticalAcrossShardCounts(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(13))
+	single := New(snap, Options{})
+	ctx := context.Background()
+
+	wantStats, err := single.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantConcepts, err := single.Concepts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		r, _ := buildFleet(t, snap, shards, nil, RouterOptions{})
+		if r.Generation() != snap.Generation() {
+			t.Fatalf("shards=%d: generation %d, want %d", shards, r.Generation(), snap.Generation())
+		}
+
+		got, err := r.Stats(ctx)
+		if err != nil {
+			t.Fatalf("shards=%d Stats: %v", shards, err)
+		}
+		if asJSON(t, got) != asJSON(t, wantStats) {
+			t.Errorf("shards=%d Stats diverged:\n got %s\nwant %s", shards, asJSON(t, got), asJSON(t, wantStats))
+		}
+
+		cs, err := r.Concepts(ctx)
+		if err != nil {
+			t.Fatalf("shards=%d Concepts: %v", shards, err)
+		}
+		if asJSON(t, cs) != asJSON(t, wantConcepts) {
+			t.Errorf("shards=%d Concepts diverged", shards)
+		}
+
+		for _, n := range []int{1, 5, 1000} {
+			want, err := single.Drifted(ctx, "", n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Drifted(ctx, "", n)
+			if err != nil {
+				t.Fatalf("shards=%d Drifted(all,%d): %v", shards, n, err)
+			}
+			if asJSON(t, got) != asJSON(t, want) {
+				t.Errorf("shards=%d Drifted(all,%d) diverged:\n got %s\nwant %s",
+					shards, n, asJSON(t, got), asJSON(t, want))
+			}
+		}
+
+		for _, ci := range wantConcepts {
+			want, err := single.Instances(ctx, ci.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Instances(ctx, ci.Name)
+			if err != nil {
+				t.Fatalf("shards=%d Instances(%s): %v", shards, ci.Name, err)
+			}
+			if asJSON(t, got) != asJSON(t, want) {
+				t.Errorf("shards=%d Instances(%s) diverged", shards, ci.Name)
+			}
+
+			wantD, err := single.Drifted(ctx, ci.Name, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotD, err := r.Drifted(ctx, ci.Name, 3)
+			if err != nil {
+				t.Fatalf("shards=%d Drifted(%s): %v", shards, ci.Name, err)
+			}
+			if asJSON(t, gotD) != asJSON(t, wantD) {
+				t.Errorf("shards=%d Drifted(%s,3) diverged", shards, ci.Name)
+			}
+		}
+
+		wantEx, err := single.Explain(ctx, "concept-4", "inst-2", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEx, err := r.Explain(ctx, "concept-4", "inst-2", 0)
+		if err != nil {
+			t.Fatalf("shards=%d Explain: %v", shards, err)
+		}
+		if asJSON(t, gotEx) != asJSON(t, wantEx) {
+			t.Errorf("shards=%d Explain diverged", shards)
+		}
+	}
+}
+
+// TestRouterRoutesPointLookupsToOwner: each Instances call lands on
+// exactly the shard the ring assigns — the other shards never see it.
+func TestRouterRoutesPointLookupsToOwner(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(12))
+	r, svcs := buildFleet(t, snap, 4, nil, RouterOptions{})
+	ctx := context.Background()
+
+	wantPerShard := make([]int64, len(svcs))
+	for c := 0; c < 12; c++ {
+		concept := "concept-" + strconv.Itoa(c)
+		wantPerShard[r.Owner(concept)]++
+		if _, err := r.Instances(ctx, concept); err != nil {
+			t.Fatalf("Instances(%s): %v", concept, err)
+		}
+	}
+	for i, svc := range svcs {
+		got := svc.Metrics().Endpoints["instances"].Requests
+		if got != wantPerShard[i] {
+			t.Errorf("shard %d served %d instances requests, want %d", i, got, wantPerShard[i])
+		}
+	}
+	// Unknown concepts still route (to whatever shard hashes them) and
+	// surface the owner's ErrNotFound unchanged.
+	if _, err := r.Instances(ctx, "no-such-concept"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown concept err = %v, want ErrNotFound", err)
+	}
+}
+
+// failShard gives shard target a fault injector that fails every query
+// endpoint; other shards stay healthy.
+func failShard(target int) func(i int) Options {
+	rules := map[string]fault.Rule{"serve.*": {ErrProb: 1}}
+	return func(i int) Options {
+		if i == target {
+			return Options{Fault: fault.New(1, rules)}
+		}
+		return Options{}
+	}
+}
+
+// TestRouterStrictModeFailsClosed: without AllowPartial, one failing
+// shard fails every scatter-gather with ErrShard — never a silently
+// torn merge — while point lookups to healthy shards keep working.
+func TestRouterStrictModeFailsClosed(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(12))
+	const bad = 1
+	r, _ := buildFleet(t, snap, 3, failShard(bad), RouterOptions{})
+	ctx := context.Background()
+
+	if _, err := r.Concepts(ctx); !errors.Is(err, ErrShard) {
+		t.Errorf("Concepts err = %v, want ErrShard", err)
+	}
+	if _, err := r.Stats(ctx); !errors.Is(err, ErrShard) {
+		t.Errorf("Stats err = %v, want ErrShard", err)
+	}
+	if _, err := r.Drifted(ctx, "", 5); !errors.Is(err, ErrShard) {
+		t.Errorf("Drifted err = %v, want ErrShard", err)
+	}
+
+	for c := 0; c < 12; c++ {
+		concept := "concept-" + strconv.Itoa(c)
+		_, err := r.Instances(ctx, concept)
+		if r.Owner(concept) == bad {
+			if err == nil {
+				t.Errorf("Instances(%s) on failed shard: want error", concept)
+			}
+		} else if err != nil {
+			t.Errorf("Instances(%s) on healthy shard: %v", concept, err)
+		}
+	}
+}
+
+// TestRouterAllowPartialDegrades: with AllowPartial, a failing shard
+// degrades the merge instead of failing it — healthy shards' results
+// come back complete, the request's GatherStatus is marked, and the
+// degraded listing is exactly the healthy-ownership subset.
+func TestRouterAllowPartialDegrades(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(12))
+	const bad = 2
+	r, _ := buildFleet(t, snap, 3, failShard(bad), RouterOptions{AllowPartial: true})
+	ctx, gs := WithGatherStatus(context.Background())
+
+	cs, err := r.Concepts(ctx)
+	if err != nil {
+		t.Fatalf("AllowPartial Concepts: %v", err)
+	}
+	if !gs.Degraded() || gs.FailedShards() != 1 {
+		t.Fatalf("GatherStatus = degraded %v, failed %d; want true, 1", gs.Degraded(), gs.FailedShards())
+	}
+	var want []string
+	for c := 0; c < 12; c++ {
+		concept := "concept-" + strconv.Itoa(c)
+		if r.Owner(concept) != bad {
+			want = append(want, concept)
+		}
+	}
+	sort.Strings(want) // the merge order is lexicographic, like the listing
+	if len(cs) != len(want) {
+		t.Fatalf("degraded Concepts has %d entries, want %d (healthy shards only)", len(cs), len(want))
+	}
+	for i, ci := range cs {
+		if ci.Name != want[i] {
+			t.Fatalf("degraded Concepts[%d] = %s, want %s", i, ci.Name, want[i])
+		}
+	}
+
+	// A healthy gather must not mark the status of a fresh request.
+	ctx2, gs2 := WithGatherStatus(context.Background())
+	healthy, _ := buildFleet(t, snap, 3, nil, RouterOptions{AllowPartial: true})
+	if _, err := healthy.Concepts(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if gs2.Degraded() {
+		t.Error("healthy gather marked the request degraded")
+	}
+}
+
+// TestRouterAllowPartialAllShardsDown: losing every shard is an error
+// even in AllowPartial mode — there is nothing left to degrade to.
+func TestRouterAllowPartialAllShardsDown(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(6))
+	r, _ := buildFleet(t, snap, 2,
+		func(int) Options {
+			return Options{Fault: fault.New(1, map[string]fault.Rule{"serve.*": {ErrProb: 1}})}
+		},
+		RouterOptions{AllowPartial: true})
+	if _, err := r.Concepts(context.Background()); !errors.Is(err, ErrShard) {
+		t.Errorf("all-shards-down Concepts err = %v, want ErrShard", err)
+	}
+}
+
+// TestRouterFaultSites: the router's own chaos seams. serve.route fires
+// on point lookups, serve.gather on scatter-gathers; both recover once
+// the rule stops firing, and gather failures carry ErrShard.
+func TestRouterFaultSites(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(6))
+
+	fi := fault.New(7, map[string]fault.Rule{
+		"serve.route":  {FailFirst: 1},
+		"serve.gather": {FailFirst: 1},
+	})
+	r, _ := buildFleet(t, snap, 2, nil, RouterOptions{Fault: fi})
+	ctx := context.Background()
+
+	if _, err := r.Instances(ctx, "concept-0"); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("first routed lookup err = %v, want injected", err)
+	}
+	if _, err := r.Instances(ctx, "concept-0"); err != nil {
+		t.Errorf("second routed lookup: %v", err)
+	}
+
+	_, err := r.Concepts(ctx)
+	if !errors.Is(err, ErrShard) || !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("first gather err = %v, want ErrShard wrapping injected", err)
+	}
+	if _, err := r.Concepts(ctx); err != nil {
+		t.Errorf("second gather: %v", err)
+	}
+
+	if got := fi.Count("serve.route"); got != 2 {
+		t.Errorf("serve.route hits = %d, want 2", got)
+	}
+	if got := fi.Count("serve.gather"); got != 2 {
+		t.Errorf("serve.gather hits = %d, want 2", got)
+	}
+}
+
+// TestRouterMetricsAggregate: the fleet view sums the shards.
+func TestRouterMetricsAggregate(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(9))
+	r, svcs := buildFleet(t, snap, 3, nil, RouterOptions{})
+	ctx := context.Background()
+
+	for c := 0; c < 9; c++ {
+		if _, err := r.Instances(ctx, "concept-"+strconv.Itoa(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Concepts(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var wantInst, wantConc int64
+	for _, svc := range svcs {
+		m := svc.Metrics()
+		wantInst += m.Endpoints["instances"].Requests
+		wantConc += m.Endpoints["concepts"].Requests
+	}
+	m := r.Metrics()
+	if m.Endpoints["instances"].Requests != wantInst || wantInst != 9 {
+		t.Errorf("aggregate instances requests = %d (shards sum %d), want 9",
+			m.Endpoints["instances"].Requests, wantInst)
+	}
+	if m.Endpoints["concepts"].Requests != wantConc || wantConc != 3 {
+		t.Errorf("aggregate concepts requests = %d (shards sum %d), want 3",
+			m.Endpoints["concepts"].Requests, wantConc)
+	}
+	if m.Generation != snap.Generation() {
+		t.Errorf("aggregate generation = %d, want %d", m.Generation, snap.Generation())
+	}
+	if got := len(r.ShardMetrics()); got != 3 {
+		t.Errorf("ShardMetrics len = %d, want 3", got)
+	}
+}
+
+// TestRouterEmptyFleet: an empty snapshot sharded any which way still
+// answers listings with empty (not null) payloads, like a single
+// service does.
+func TestRouterEmptyFleet(t *testing.T) {
+	snap := snapshot.Freeze(kb.New())
+	single := New(snap, Options{})
+	r, _ := buildFleet(t, snap, 3, nil, RouterOptions{})
+	ctx := context.Background()
+
+	for name, q := range map[string]Querier{"single": single, "router": r} {
+		cs, err := q.Concepts(ctx)
+		if err != nil || cs == nil || len(cs) != 0 {
+			t.Errorf("%s Concepts = %v, %v; want empty non-nil", name, cs, err)
+		}
+		dr, err := q.Drifted(ctx, "", 5)
+		if err != nil || dr == nil || len(dr) != 0 {
+			t.Errorf("%s Drifted = %v, %v; want empty non-nil", name, dr, err)
+		}
+	}
+}
+
+// TestNewRouterRejectsMismatchedRing: the ring and the shard slice must
+// agree on the fleet size; a mismatch would silently misroute.
+func TestNewRouterRejectsMismatchedRing(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(4))
+	ring := NewRing(2, 16)
+	parts := snap.Partition(2, ring.Owner)
+	svcs := []*Service{New(parts[0], Options{}), New(parts[1], Options{})}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRouter with mismatched ring must panic")
+		}
+	}()
+	NewRouter(svcs, NewRing(3, 16), RouterOptions{})
+}
+
+// TestRouterStaleAggregation: the fleet is stale as soon as any shard
+// is.
+func TestRouterStaleAggregation(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(4))
+	r, svcs := buildFleet(t, snap, 2, nil, RouterOptions{})
+	if r.Stale() {
+		t.Fatal("fresh fleet reported stale")
+	}
+	svcs[1].MarkStale(true)
+	if !r.Stale() {
+		t.Fatal("fleet with a stale shard reported fresh")
+	}
+	svcs[1].MarkStale(false)
+	if r.Stale() {
+		t.Fatal("unmarking did not clear fleet staleness")
+	}
+}
+
+// TestRouterExpvarHandler: the fleet handler exports the aggregate and
+// the per-shard breakdown.
+func TestRouterExpvarHandler(t *testing.T) {
+	snap := snapshot.Freeze(fleetKB(4))
+	r, _ := buildFleet(t, snap, 2, nil, RouterOptions{})
+	if _, err := r.Concepts(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := newExpvarRecorder(t, r)
+	var doc struct {
+		Driftserve Metrics   `json:"driftserve"`
+		Shards     []Metrics `json:"shards"`
+	}
+	if err := json.Unmarshal(rec, &doc); err != nil {
+		t.Fatalf("unmarshal expvar doc: %v", err)
+	}
+	if len(doc.Shards) != 2 {
+		t.Fatalf("expvar shards = %d, want 2", len(doc.Shards))
+	}
+	if doc.Driftserve.Endpoints["concepts"].Requests != 2 {
+		t.Errorf("aggregate concepts requests = %d, want 2 (one per shard)",
+			doc.Driftserve.Endpoints["concepts"].Requests)
+	}
+}
+
+// newExpvarRecorder serves one request against q's expvar handler and
+// returns the body.
+func newExpvarRecorder(t *testing.T, q Querier) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "/debug/vars", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	q.ExpvarHandler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("expvar status = %d", rec.Code)
+	}
+	return rec.Body.Bytes()
+}

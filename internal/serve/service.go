@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,14 @@ type Options struct {
 	// CacheSize bounds the LRU result cache: 0 means DefaultCacheSize,
 	// negative disables caching (every query recomputes).
 	CacheSize int
+	// MaxInflight caps the queries executing concurrently (admission
+	// control); 0 means unlimited. When the cap is reached, up to
+	// QueueDepth further queries wait for a slot and everything beyond
+	// that is shed immediately with ErrOverloaded (HTTP 429).
+	MaxInflight int
+	// QueueDepth bounds the admission queue behind MaxInflight; it is
+	// only meaningful when MaxInflight is positive.
+	QueueDepth int
 	// Fault, when non-nil, is consulted at the "serve.<endpoint>" site on
 	// every query (chaos testing); an injected error surfaces to the
 	// caller exactly like a compute failure. nil is the production no-op.
@@ -69,6 +78,7 @@ type Service struct {
 
 	flights *flightGroup
 	metrics map[string]*endpointMetrics
+	adm     *admission // nil when admission control is disabled
 	fault   *fault.Injector
 }
 
@@ -86,6 +96,7 @@ func New(snap *snapshot.Snapshot, opts Options) *Service {
 		cache:   newLRU(size),
 		flights: newFlightGroup(),
 		metrics: make(map[string]*endpointMetrics, len(endpointNames)),
+		adm:     newAdmission(opts.MaxInflight, opts.QueueDepth),
 		fault:   opts.Fault,
 	}
 	for _, name := range endpointNames {
@@ -148,10 +159,14 @@ type InstanceInfo struct {
 	SubInstances int    `json:"sub_instances"`
 }
 
-// DriftedInstance is one row of a drift ranking.
+// DriftedInstance is one row of a drift ranking. Concept is set only in
+// fleet-wide rankings (Drifted with an empty concept), where rows from
+// different concepts mix; concept-scoped rankings omit it, keeping
+// their wire format unchanged.
 type DriftedInstance struct {
-	Name  string `json:"name"`
-	Depth int    `json:"depth"`
+	Concept string `json:"concept,omitempty"`
+	Name    string `json:"name"`
+	Depth   int    `json:"depth"`
 }
 
 // Stats returns aggregate statistics of the current snapshot.
@@ -232,11 +247,18 @@ func (s *Service) Explain(ctx context.Context, concept, instance string, maxSupp
 	return v.(kb.Explanation), nil
 }
 
-// Drifted ranks up to n instances of a concept by provenance-chain
-// depth, deepest first. Unknown concepts yield ErrNotFound.
+// Drifted ranks up to n instances by provenance-chain depth, deepest
+// first. With a concept, the ranking is scoped to it and unknown
+// concepts yield ErrNotFound. With an empty concept, the ranking spans
+// every concept the service holds (rows carry their concept), ordered
+// by depth descending, then concept, then instance — the deterministic
+// order a sharded router's gather-merge reproduces exactly.
 func (s *Service) Drifted(ctx context.Context, concept string, n int) ([]DriftedInstance, error) {
 	key := concept + "\x1f" + strconv.Itoa(n)
 	v, err := s.do(ctx, "drifted", key, func(snap *snapshot.Snapshot) (any, error) {
+		if concept == "" {
+			return driftedAll(ctx, snap, n)
+		}
 		if !snap.HasConcept(concept) {
 			return nil, fmt.Errorf("%w: concept %q", ErrNotFound, concept)
 		}
@@ -259,6 +281,51 @@ func (s *Service) Drifted(ctx context.Context, concept string, n int) ([]Drifted
 	return v.([]DriftedInstance), nil
 }
 
+// driftedAll computes the fleet-wide drift ranking of one snapshot: the
+// n deepest provenance chains across every concept, ordered by depth
+// descending, then concept, then instance name.
+func driftedAll(ctx context.Context, snap *snapshot.Snapshot, n int) (any, error) {
+	var rows []DriftedInstance
+	for i, c := range snap.Concepts() {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		depth := snap.DriftDepth(c)
+		// Instances() is the deterministic iteration surface; the depth
+		// map itself must never be ranged into an ordered sink.
+		for _, e := range snap.Instances(c) {
+			rows = append(rows, DriftedInstance{Concept: c, Name: e, Depth: depth[e]})
+		}
+	}
+	sortDrifted(rows)
+	if len(rows) > n {
+		rows = rows[:n:n]
+	}
+	if rows == nil {
+		rows = []DriftedInstance{} // empty snapshots answer [], matching Router
+	}
+	return rows, nil
+}
+
+// sortDrifted orders fleet-wide drift rows canonically: depth
+// descending, then concept, then instance name. Router merges and
+// single-service rankings share this exact order, which is what makes
+// scatter-gather responses byte-identical across shard counts.
+func sortDrifted(rows []DriftedInstance) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Depth != b.Depth {
+			return a.Depth > b.Depth
+		}
+		if a.Concept != b.Concept {
+			return a.Concept < b.Concept
+		}
+		return a.Name < b.Name
+	})
+}
+
 // Metrics returns an exported snapshot of all service metrics.
 func (s *Service) Metrics() Metrics {
 	s.mu.Lock()
@@ -268,6 +335,7 @@ func (s *Service) Metrics() Metrics {
 		Generation: s.Generation(),
 		Swaps:      s.swaps.Load(),
 		CacheSize:  entries,
+		Shed:       s.adm.shedCount(),
 		Endpoints:  make(map[string]EndpointStats, len(s.metrics)),
 	}
 	for name, em := range s.metrics {
@@ -276,14 +344,20 @@ func (s *Service) Metrics() Metrics {
 	return m
 }
 
-// do is the shared query path: resolve the current snapshot, consult the
-// (generation, query)-keyed cache, coalesce identical in-flight
-// computations, record metrics. compute runs against one pinned
-// snapshot, so a concurrent Swap never gives a query a torn view.
+// do is the shared query path: pass admission control, resolve the
+// current snapshot, consult the (generation, query)-keyed cache,
+// coalesce identical in-flight computations, record metrics. compute
+// runs against one pinned snapshot, so a concurrent Swap never gives a
+// query a torn view.
 func (s *Service) do(ctx context.Context, endpoint, qkey string, compute func(*snapshot.Snapshot) (any, error)) (any, error) {
 	m := s.metrics[endpoint]
 	start := time.Now()
+	if err := s.adm.acquire(ctx); err != nil {
+		m.observe(time.Since(start), err)
+		return nil, err
+	}
 	v, err := s.doPinned(ctx, m, endpoint, qkey, compute)
+	s.adm.release()
 	m.observe(time.Since(start), err)
 	return v, err
 }

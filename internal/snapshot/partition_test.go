@@ -1,0 +1,200 @@
+package snapshot
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"driftclean/internal/kb"
+)
+
+// gridKB builds a KB with nc concepts of ni instances each, a trigger
+// chain per concept, plus one rolled-back extraction so inactive state
+// is exercised.
+func gridKB(nc, ni int) *kb.KB {
+	k := kb.New()
+	sid := 0
+	for c := 0; c < nc; c++ {
+		concept := "concept" + strconv.Itoa(c)
+		k.AddExtraction(sid, concept, []string{concept}, []string{"e0"}, nil, 1)
+		sid++
+		for i := 1; i < ni; i++ {
+			k.AddExtraction(sid, concept, []string{concept},
+				[]string{"e" + strconv.Itoa(i)}, []string{"e" + strconv.Itoa(i-1)}, i+1)
+			sid++
+		}
+	}
+	id := k.AddExtraction(sid, "concept0", nil, []string{"ghost"}, []string{"e0"}, 2)
+	k.RollbackExtractions([]int{id})
+	return k
+}
+
+// modOwner assigns concepts round-robin by a hash-free deterministic
+// rule, good enough for partition-invariant tests.
+func modOwner(n int) func(string) int {
+	next, seen := 0, map[string]int{}
+	return func(concept string) int {
+		if sh, ok := seen[concept]; ok {
+			return sh
+		}
+		sh := next % n
+		seen[concept] = sh
+		next++
+		return sh
+	}
+}
+
+func TestPartitionConceptsAreDisjointUnion(t *testing.T) {
+	full := Freeze(gridKB(7, 5))
+	for _, n := range []int{1, 2, 3, 7, 10} {
+		parts := full.Partition(n, modOwner(n))
+		if len(parts) != n {
+			t.Fatalf("Partition(%d) returned %d views", n, len(parts))
+		}
+		seen := map[string]int{}
+		var merged []string
+		for i, p := range parts {
+			for _, c := range p.Concepts() {
+				if prev, dup := seen[c]; dup {
+					t.Fatalf("n=%d: concept %q owned by shards %d and %d", n, c, prev, i)
+				}
+				seen[c] = i
+				merged = append(merged, c)
+			}
+		}
+		// Disjoint sorted subsets of a sorted list merge back sorted.
+		sortedMerged := append([]string(nil), merged...)
+		if len(sortedMerged) != len(full.Concepts()) {
+			t.Fatalf("n=%d: %d concepts across shards, want %d", n, len(sortedMerged), len(full.Concepts()))
+		}
+		for _, c := range full.Concepts() {
+			if _, ok := seen[c]; !ok {
+				t.Fatalf("n=%d: concept %q lost in partition", n, c)
+			}
+		}
+	}
+}
+
+func TestPartitionStatsSumToFull(t *testing.T) {
+	full := Freeze(gridKB(6, 4))
+	for _, n := range []int{1, 2, 5} {
+		parts := full.Partition(n, modOwner(n))
+		var sum kb.Stats
+		for _, p := range parts {
+			st := p.Stats()
+			sum.Concepts += st.Concepts
+			sum.DistinctPairs += st.DistinctPairs
+			sum.TotalCount += st.TotalCount
+			sum.ActiveExtractions += st.ActiveExtractions
+		}
+		if sum != full.Stats() {
+			t.Fatalf("n=%d: shard stats sum %+v, full %+v", n, sum, full.Stats())
+		}
+	}
+}
+
+func TestPartitionOwnershipGuards(t *testing.T) {
+	full := Freeze(gridKB(4, 3))
+	parts := full.Partition(2, modOwner(2))
+
+	owner, other := parts[0], parts[1]
+	c := owner.Concepts()[0]
+	if !owner.HasConcept(c) {
+		t.Fatalf("owner does not report its concept %q", c)
+	}
+	if other.HasConcept(c) {
+		t.Fatalf("non-owner reports concept %q", c)
+	}
+	if got := other.Instances(c); got != nil {
+		t.Fatalf("non-owner Instances(%q) = %v, want nil", c, got)
+	}
+	if other.Has(c, "e0") || other.Count(c, "e0") != 0 {
+		t.Fatal("non-owner answers pair reads")
+	}
+	if _, ok := other.Explain(c, "e1", 0); ok {
+		t.Fatal("non-owner explains pairs")
+	}
+	if got := other.SubInstances(c, "e0"); got != nil {
+		t.Fatalf("non-owner SubInstances = %v, want nil", got)
+	}
+	if got := other.DriftDepth(c); got != nil {
+		t.Fatalf("non-owner DriftDepth = %v, want nil", got)
+	}
+	if got := other.TopDrifted(c, 3); got != nil {
+		t.Fatalf("non-owner TopDrifted = %v, want nil", got)
+	}
+
+	// The owner's reads match the full snapshot's exactly.
+	if !reflect.DeepEqual(owner.Instances(c), full.Instances(c)) {
+		t.Fatal("owner instances differ from full view")
+	}
+	if !reflect.DeepEqual(owner.TopDrifted(c, 3), full.TopDrifted(c, 3)) {
+		t.Fatal("owner drift ranking differs from full view")
+	}
+	ex1, ok1 := owner.Explain(c, "e1", 0)
+	ex2, ok2 := full.Explain(c, "e1", 0)
+	if ok1 != ok2 || !reflect.DeepEqual(ex1, ex2) {
+		t.Fatal("owner explanation differs from full view")
+	}
+}
+
+func TestPartitionSharesGeneration(t *testing.T) {
+	full := Freeze(gridKB(3, 2))
+	for _, p := range full.Partition(3, modOwner(3)) {
+		if p.Generation() != full.Generation() {
+			t.Fatalf("shard generation %d, parent %d", p.Generation(), full.Generation())
+		}
+	}
+}
+
+func TestPartitionReverseIndexScoped(t *testing.T) {
+	full := Freeze(gridKB(4, 3))
+	parts := full.Partition(2, modOwner(2))
+	// Every concept of every instance, collected across shards, must
+	// reproduce the full reverse index.
+	for _, inst := range []string{"e0", "e1", "e2"} {
+		var merged []string
+		for _, p := range parts {
+			merged = append(merged, p.ConceptsOfInstance(inst)...)
+		}
+		got := map[string]bool{}
+		for _, c := range merged {
+			got[c] = true
+		}
+		want := full.ConceptsOfInstance(inst)
+		if len(merged) != len(want) {
+			t.Fatalf("instance %q: %d concepts across shards, want %d", inst, len(merged), len(want))
+		}
+		for _, c := range want {
+			if !got[c] {
+				t.Fatalf("instance %q: concept %q missing from shard views", inst, c)
+			}
+		}
+	}
+}
+
+func TestPartitionOfPartitionPanics(t *testing.T) {
+	full := Freeze(gridKB(2, 2))
+	part := full.Partition(2, modOwner(2))[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partitioning a shard view must panic")
+		}
+	}()
+	part.Partition(2, modOwner(2))
+}
+
+func TestPartitionEmptyShardIsServable(t *testing.T) {
+	full := Freeze(gridKB(1, 2))
+	parts := full.Partition(3, modOwner(3))
+	empty := parts[1]
+	if len(empty.Concepts()) != 0 {
+		t.Fatalf("shard 1 owns %v, want nothing", empty.Concepts())
+	}
+	if st := empty.Stats(); st != (kb.Stats{}) {
+		t.Fatalf("empty shard stats = %+v, want zero", st)
+	}
+	if empty.HasConcept("concept0") {
+		t.Fatal("empty shard claims a concept")
+	}
+}

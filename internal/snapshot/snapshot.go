@@ -27,6 +27,12 @@ var generation atomic.Uint64
 
 // Snapshot is an immutable view of a KB frozen at a point in time. All
 // methods are safe for concurrent use by any number of goroutines.
+//
+// A snapshot is either a full view (produced by Freeze) or a
+// concept-partitioned shard view (produced by Partition): a shard view
+// shares the parent's underlying KB clone but answers only for the
+// concepts it owns, so N shard views of one freeze cost N index slices,
+// not N KB copies.
 type Snapshot struct {
 	gen uint64
 	k   *kb.KB // private deep clone; never mutated after Freeze returns
@@ -38,6 +44,10 @@ type Snapshot struct {
 	// ConceptsOfInstance is a map lookup instead of the full scan the
 	// mutable KB performs.
 	byInstance map[string][]string
+	// owned, when non-nil, restricts the view to the concepts a
+	// Partition call assigned to this shard; reads about any other
+	// concept answer "not here". nil means the full, unpartitioned view.
+	owned map[string]struct{}
 }
 
 // Freeze deep-clones the KB into a new immutable snapshot. The caller
@@ -61,41 +71,72 @@ func Freeze(source *kb.KB) *Snapshot {
 }
 
 // Generation returns the snapshot's process-wide monotonic generation
-// number. Later freezes always have strictly larger generations.
+// number. Later freezes always have strictly larger generations; shard
+// views share their parent freeze's generation.
 func (s *Snapshot) Generation() uint64 { return s.gen }
 
-// Stats returns the aggregate KB statistics, precomputed at freeze.
+// Stats returns the aggregate KB statistics, precomputed at freeze. For
+// a shard view the statistics are scoped to the owned concepts; summing
+// every shard of a partition reproduces the parent's statistics exactly.
 func (s *Snapshot) Stats() kb.Stats { return s.stats }
 
-// Concepts returns all concepts with at least one active instance,
-// sorted. The returned slice is shared and must not be modified.
+// Concepts returns all concepts with at least one active instance (of
+// this shard, for a shard view), sorted. The returned slice is shared
+// and must not be modified.
 func (s *Snapshot) Concepts() []string { return s.concepts }
 
+// owns reports whether this view answers for the concept.
+func (s *Snapshot) owns(concept string) bool {
+	if s.owned == nil {
+		return true
+	}
+	_, ok := s.owned[concept]
+	return ok
+}
+
 // HasConcept reports whether the concept has at least one active
-// instance in the snapshot.
+// instance in the snapshot (and, for a shard view, is owned by it).
 func (s *Snapshot) HasConcept(concept string) bool {
-	return len(s.k.Instances(concept)) > 0
+	return s.owns(concept) && len(s.k.Instances(concept)) > 0
 }
 
 // Instances returns the instances under a concept, sorted.
-func (s *Snapshot) Instances(concept string) []string { return s.k.Instances(concept) }
+func (s *Snapshot) Instances(concept string) []string {
+	if !s.owns(concept) {
+		return nil
+	}
+	return s.k.Instances(concept)
+}
 
 // Has reports whether the pair is in the snapshot with positive count.
-func (s *Snapshot) Has(concept, instance string) bool { return s.k.Has(concept, instance) }
+func (s *Snapshot) Has(concept, instance string) bool {
+	return s.owns(concept) && s.k.Has(concept, instance)
+}
 
 // Count returns the active support count of a pair (0 if absent).
-func (s *Snapshot) Count(concept, instance string) int { return s.k.Count(concept, instance) }
+func (s *Snapshot) Count(concept, instance string) int {
+	if !s.owns(concept) {
+		return 0
+	}
+	return s.k.Count(concept, instance)
+}
 
 // Explain traces the provenance of a pair; ok=false when the pair is not
 // in the snapshot. At most maxSupports supporting extractions are traced
 // (0 means all).
 func (s *Snapshot) Explain(concept, instance string, maxSupports int) (kb.Explanation, bool) {
+	if !s.owns(concept) {
+		return kb.Explanation{}, false
+	}
 	return s.k.Explain(concept, instance, maxSupports)
 }
 
 // SubInstances returns sub(e): instances whose extraction was triggered
 // by the given instance, sorted.
 func (s *Snapshot) SubInstances(concept, instance string) []string {
+	if !s.owns(concept) {
+		return nil
+	}
 	return s.k.SubInstances(concept, instance)
 }
 
@@ -109,11 +150,73 @@ func (s *Snapshot) ConceptsOfInstance(instance string) []string {
 
 // DriftDepth returns, for every active pair of a concept, the length of
 // its provenance chain back to the core (1 for core pairs).
-func (s *Snapshot) DriftDepth(concept string) map[string]int { return s.k.DriftDepth(concept) }
+func (s *Snapshot) DriftDepth(concept string) map[string]int {
+	if !s.owns(concept) {
+		return nil
+	}
+	return s.k.DriftDepth(concept)
+}
 
 // TopDrifted returns up to n instances of the concept with the deepest
 // provenance chains, deepest first (ties by name).
-func (s *Snapshot) TopDrifted(concept string, n int) []string { return s.k.TopDrifted(concept, n) }
+func (s *Snapshot) TopDrifted(concept string, n int) []string {
+	if !s.owns(concept) {
+		return nil
+	}
+	return s.k.TopDrifted(concept, n)
+}
 
 // NumPairs returns the number of distinct active pairs.
 func (s *Snapshot) NumPairs() int { return s.stats.DistinctPairs }
+
+// Partition splits the snapshot into n shard views by concept
+// ownership: owner maps each concept name onto a shard index in
+// [0, n). Every view shares the receiver's underlying KB clone — the
+// split costs index slices and scoped statistics, not KB copies — and
+// inherits its generation, so a router merging the shards' answers
+// reproduces the unpartitioned responses byte for byte.
+//
+// Each shard view answers only for its owned concepts: reads about any
+// other concept behave exactly as if the concept were absent. The
+// scoped statistics of the n views sum field-wise to the receiver's
+// (pairs and extractions both partition cleanly by concept).
+//
+// Partitioning an already-partitioned view is not supported; partition
+// the full freeze instead.
+func (s *Snapshot) Partition(n int, owner func(concept string) int) []*Snapshot {
+	if s.owned != nil {
+		panic("snapshot: Partition of an already-partitioned view")
+	}
+	if n < 1 {
+		panic("snapshot: Partition into zero shards")
+	}
+	parts := make([]*Snapshot, n)
+	for i := range parts {
+		parts[i] = &Snapshot{
+			gen:        s.gen,
+			k:          s.k,
+			byInstance: make(map[string][]string),
+			owned:      make(map[string]struct{}),
+		}
+	}
+	for _, c := range s.concepts {
+		p := parts[owner(c)]
+		p.concepts = append(p.concepts, c)
+		p.owned[c] = struct{}{}
+		p.stats.Concepts++
+		for _, e := range s.k.Instances(c) {
+			p.stats.DistinctPairs++
+			p.stats.TotalCount += s.k.Count(c, e)
+			p.byInstance[e] = append(p.byInstance[e], c)
+		}
+	}
+	// Active extractions are concept-local, so each one belongs to
+	// exactly the shard owning its concept — including extractions whose
+	// concept no longer has active pairs (owner is still total).
+	for id := 0; id < s.k.NumExtractions(); id++ {
+		if ex := s.k.Extraction(id); ex.Active {
+			parts[owner(ex.Concept)].stats.ActiveExtractions++
+		}
+	}
+	return parts
+}
