@@ -280,24 +280,15 @@ func (s *System) Analyze(k *kb.KB) (*Analysis, error) {
 	parallelism := s.Cfg.workers()
 	a.Features.Warm(eligible, parallelism)
 
+	// par.For (rather than a raw goroutine pool) so a panic inside a
+	// task build — including one injected at the core.solve fault site —
+	// is captured and re-thrown on this goroutine, where the public API's
+	// stage recovery can turn it into ErrStagePanic.
 	tasks := make([]*learn.Task, len(eligible))
 	errs := make([]error, len(eligible))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				tasks[i], errs[i] = s.buildTask(k, a, eligible[i])
-			}
-		}()
-	}
-	for i := range eligible {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	par.For(len(eligible), parallelism, func(i int) {
+		tasks[i], errs[i] = s.buildTask(k, a, eligible[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: building task for %q: %w", eligible[i], err)
@@ -348,7 +339,7 @@ func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, 
 	}
 	raw := a.Features.Matrix(concept, names)
 
-	sig := taskSignature(concept, names, seeds, raw)
+	sig := taskSignature(concept, names, seeds, raw, s.Cfg.KPCA)
 	s.taskMu.Lock()
 	if e, ok := s.taskCache[concept]; ok && e.sig == sig {
 		s.taskHits++
@@ -357,6 +348,13 @@ func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, 
 	}
 	s.taskMisses++
 	s.taskMu.Unlock()
+
+	// The eigensolve below is the analysis hot spot, so it gets its own
+	// chaos seam: a signature miss is exactly "this concept pays for a
+	// KPCA fit this pass".
+	if err := s.Cfg.Fault.Hit("core.solve"); err != nil {
+		return nil, err
+	}
 
 	// Fit KPCA on all labeled points plus a deterministic sample of the
 	// rest, capped for tractability; project everything.
@@ -431,11 +429,16 @@ func (s *System) buildTask(k *kb.KB, a *Analysis, concept string) (*learn.Task, 
 
 // taskSignature hashes the exact inputs a concept's learning task is a
 // function of: the sorted instance names, each name's seed label (or
-// its absence), and the raw feature matrix bit for bit. Names are
-// sorted and the matrix rows follow name order, so the signature is
-// deterministic; equal signatures mean the previously built task is
-// byte-identical to what a rebuild would produce.
-func taskSignature(concept string, names []string, seeds map[string]dp.Label, raw [][]float64) uint64 {
+// its absence), the raw feature matrix bit for bit, and the KPCA solver
+// configuration. The solver bytes matter for the Session delta-reuse
+// path: a cached task embeds the eigensolver's (and kernel precision's)
+// numerical fingerprint, so a config that switches solvers mid-flight —
+// e.g. the Jacobi escape hatch — must miss rather than replay top-k
+// projections. Names are sorted and the matrix rows follow name order,
+// so the signature is deterministic; equal signatures mean the
+// previously built task is byte-identical to what a rebuild would
+// produce.
+func taskSignature(concept string, names []string, seeds map[string]dp.Label, raw [][]float64, kcfg kpca.Config) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	u64 := func(v uint64) {
@@ -444,6 +447,11 @@ func taskSignature(concept string, names []string, seeds map[string]dp.Label, ra
 	}
 	_, _ = h.Write([]byte(concept))
 	_, _ = h.Write([]byte{0})
+	kernel32 := byte(0)
+	if kcfg.Kernel32 {
+		kernel32 = 1
+	}
+	_, _ = h.Write([]byte{byte(kcfg.Solver), kernel32})
 	u64(uint64(len(names)))
 	for i, e := range names {
 		_, _ = h.Write([]byte(e))

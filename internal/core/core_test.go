@@ -5,6 +5,7 @@ import (
 
 	"driftclean/internal/dp"
 	"driftclean/internal/eval"
+	"driftclean/internal/kpca"
 )
 
 // testConfig returns a small but drift-exhibiting configuration.
@@ -165,5 +166,31 @@ func TestOnlyDPsFilter(t *testing.T) {
 func TestDetectorKindString(t *testing.T) {
 	if DetectMultiTask.String() == "" || DetectAdHoc2.String() != "ad-hoc 2" {
 		t.Error("DetectorKind.String broken")
+	}
+}
+
+// TestTaskSignatureIncludesSolverConfig: the Session delta-reuse cache
+// must miss when the KPCA solver or kernel precision changes — a cached
+// task carries that solver's numerical fingerprint, and replaying it
+// under another configuration would silently mix solver outputs.
+func TestTaskSignatureIncludesSolverConfig(t *testing.T) {
+	names := []string{"a", "b"}
+	seeds := map[string]dp.Label{"a": dp.Intentional}
+	raw := [][]float64{{1, 2}, {3, 4}}
+	base := kpca.DefaultConfig()
+	jac := base
+	jac.Solver = kpca.SolverJacobi
+	k32 := base
+	k32.Kernel32 = true
+
+	sigBase := taskSignature("c", names, seeds, raw, base)
+	if got := taskSignature("c", names, seeds, raw, base); got != sigBase {
+		t.Fatal("taskSignature is not deterministic")
+	}
+	if got := taskSignature("c", names, seeds, raw, jac); got == sigBase {
+		t.Error("switching to the Jacobi solver did not change the signature")
+	}
+	if got := taskSignature("c", names, seeds, raw, k32); got == sigBase {
+		t.Error("enabling Kernel32 did not change the signature")
 	}
 }

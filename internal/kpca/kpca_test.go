@@ -166,3 +166,93 @@ func TestQuickProjectFinite(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// alignSignsTo flips each component column of got so its projection of
+// the first training point matches want's sign — the eigenvector sign is
+// the one freedom the two solvers are allowed to disagree on.
+func alignSignsTo(want, got [][]float64) {
+	if len(want) == 0 {
+		return
+	}
+	for p := range want[0] {
+		// Use the row with the largest reference magnitude for a stable
+		// sign read.
+		best, bestAbs := 0, 0.0
+		for i := range want {
+			if a := math.Abs(want[i][p]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if want[best][p]*got[best][p] < 0 {
+			for i := range got {
+				got[i][p] = -got[i][p]
+			}
+		}
+	}
+}
+
+// TestSolverEquivalence: the top-k default and the Jacobi escape hatch
+// must produce the same fitted transform — same component count, same
+// projections up to the per-component sign freedom — on KPCA's own input
+// family, not just on the linalg-level differential suite.
+func TestSolverEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, _ := twoBlobs(rng, 60)
+	topk, err := Fit(x, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jcfg := DefaultConfig()
+	jcfg.Solver = SolverJacobi
+	jac, err := Fit(x, jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topk.Components() != jac.Components() {
+		t.Fatalf("component count differs: topk %d vs jacobi %d", topk.Components(), jac.Components())
+	}
+	if math.Abs(topk.Gamma()-jac.Gamma()) > 1e-15 {
+		t.Fatalf("gamma differs: %v vs %v", topk.Gamma(), jac.Gamma())
+	}
+	tp := topk.ProjectAll(x)
+	jp := jac.ProjectAll(x)
+	alignSignsTo(jp, tp)
+	for i := range jp {
+		for p := range jp[i] {
+			if math.Abs(jp[i][p]-tp[i][p]) > 1e-6 {
+				t.Fatalf("projection[%d][%d]: jacobi %v vs topk %v", i, p, jp[i][p], tp[i][p])
+			}
+		}
+	}
+}
+
+// TestKernel32WithinTolerance: the blocked float32 kernel build changes
+// entries by at most float32 rounding of the squared distances, so the
+// fitted projections must track the float64 build within a loose bound.
+func TestKernel32WithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x, _ := twoBlobs(rng, 60)
+	f64, err := Fit(x, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg32 := DefaultConfig()
+	cfg32.Kernel32 = true
+	f32, err := Fit(x, cfg32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f64.Components() != f32.Components() {
+		t.Fatalf("component count differs: float64 %d vs kernel32 %d", f64.Components(), f32.Components())
+	}
+	p64 := f64.ProjectAll(x)
+	p32 := f32.ProjectAll(x)
+	alignSignsTo(p64, p32)
+	for i := range p64 {
+		for p := range p64[i] {
+			if math.Abs(p64[i][p]-p32[i][p]) > 1e-3 {
+				t.Fatalf("projection[%d][%d]: float64 %v vs kernel32 %v", i, p, p64[i][p], p32[i][p])
+			}
+		}
+	}
+}

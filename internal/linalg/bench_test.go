@@ -20,14 +20,26 @@ func benchSym(n int) *Matrix {
 	return m
 }
 
+// BenchmarkEigenSym runs the two solvers side by side on the same
+// KPCA-shaped matrices: the full-spectrum Jacobi oracle against the
+// top-k path at the production component budget (k=12).
 func BenchmarkEigenSym(b *testing.B) {
-	for _, n := range []int{30, 60, 120} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			src := benchSym(n)
+	for _, n := range []int{30, 60, 120, 200} {
+		src := benchSym(n)
+		k := 12
+		if k > n {
+			k = n
+		}
+		b.Run(fmt.Sprintf("jacobi/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				EigenSym(src)
+			}
+		})
+		b.Run(fmt.Sprintf("topk/n=%d/k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				EigenSymTopK(src, k)
 			}
 		})
 	}

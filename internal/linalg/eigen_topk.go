@@ -1,0 +1,583 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ulp is the double-precision machine epsilon (2⁻⁵²): the unit the QL
+// deflation test and the inverse-iteration pivot floor are expressed in.
+const ulp = 2.220446049250313e-16
+
+// maxQLIterations bounds the implicit-shift sweeps spent on any single
+// eigenvalue. The symmetric tridiagonal QL iteration converges cubically
+// and 30 is the classical bound (EISPACK/NR use it); exceeding it means
+// pathological input, and EigenSymTopK falls back to the Jacobi oracle
+// rather than returning garbage.
+const maxQLIterations = 50
+
+// EigenSymTopK computes the eigendecomposition of a symmetric matrix,
+// paying full price only for the spectrum: it returns every eigenvalue
+// (descending, like EigenSym) but recovers eigenvectors for just the k
+// largest, as the columns of an n×k matrix (vectors.Col(i) pairs with
+// values[i]). k is clamped to [0, n].
+//
+// This is the KPCA production path: the kernel-PCA fit consumes at most
+// MaxComponents ≈ 12 components while cyclic Jacobi — kept untouched as
+// EigenSym, the testing oracle — pays O(n³) per sweep for all n
+// eigenvectors. The pipeline here is the classical dense one:
+//
+//  1. Householder tridiagonalization T = QᵀAQ, storing the unit
+//     reflector vectors (not the accumulated Q, which would cost the
+//     O(n³) this function exists to avoid);
+//  2. implicit-shift QL on the tridiagonal for all eigenvalues, O(n²);
+//  3. inverse iteration on T for each of the top k eigenvalues, with
+//     modified Gram-Schmidt against the previously accepted vectors so
+//     clustered and repeated eigenvalues still yield an orthonormal
+//     basis of their eigenspace;
+//  4. back-transformation of each tridiagonal eigenvector through the
+//     stored reflectors, O(n²) per vector.
+//
+// Every working buffer is allocated once up front and the hot loops walk
+// capped row slices, following the flat-kernel idiom of EigenSym. The
+// result is deterministic: fixed start vectors, fixed perturbation
+// schedule, and a sign canonicalization (largest-magnitude component of
+// each eigenvector is made positive, ties to the lowest index).
+func EigenSymTopK(a *Matrix, k int) (values []float64, vectors *Matrix) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("linalg: EigenSymTopK of non-square %d×%d matrix", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	if n == 0 {
+		return nil, NewMatrix(0, 0)
+	}
+
+	m := a.Clone()
+	m.Symmetrize()
+	md := m.Data
+
+	// Reflector j has length n-1-j; the packed store and its offsets are
+	// the only per-decomposition state the back-transform needs.
+	d := make([]float64, n)
+	e := make([]float64, n) // e[i] = T[i][i+1]; e[n-1] is a zero sentinel
+	// Reflector j spans rows j+1…n-1, so the packed store needs
+	// Σ_{j=0}^{n-3} (n-1-j) = n(n-1)/2 − 1 slots.
+	packed := 0
+	if n > 2 {
+		packed = n*(n-1)/2 - 1
+	}
+	vflat := make([]float64, packed)
+	offs := make([]int, n)
+	p := make([]float64, n)
+	tridiagonalize(md, n, d, e, vflat, offs, p)
+
+	// Eigenvalues: QL destroys its input, so it runs on copies and the
+	// originals stay around for the inverse-iteration solves.
+	dq := make([]float64, n)
+	eq := make([]float64, n)
+	copy(dq, d)
+	copy(eq, e)
+	if !qlImplicitShift(dq, eq) {
+		// Should never happen for finite symmetric input; the Jacobi
+		// oracle is the deterministic safe harbor.
+		vals, full := EigenSym(a)
+		vectors = NewMatrix(n, k)
+		for i := 0; i < n; i++ {
+			copy(vectors.Data[i*k:(i+1)*k], full.Data[i*n:i*n+k])
+		}
+		return vals, vectors
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(dq)))
+	values = dq
+
+	vectors = NewMatrix(n, k)
+	if k == 0 {
+		return values, vectors
+	}
+
+	// anorm is the ∞-norm of T; the inverse-iteration solves run on a
+	// 1/anorm-scaled copy so the pivot floor is a plain ulp and extreme
+	// input magnitudes can neither overflow nor underflow the solver.
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		s := math.Abs(d[i]) + math.Abs(e[i])
+		if i > 0 {
+			s += math.Abs(e[i-1])
+		}
+		if s > anorm {
+			anorm = s
+		}
+	}
+	if anorm == 0 {
+		// The zero matrix: any orthonormal set is an eigenbasis; the
+		// canonical one is the deterministic choice.
+		for j := 0; j < k; j++ {
+			vectors.Data[j*k+j] = 1
+		}
+		return values, vectors
+	}
+	inv := 1 / anorm
+	ds := make([]float64, n)
+	es := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ds[i] = d[i] * inv
+		es[i] = e[i] * inv
+	}
+
+	const (
+		invIterations = 3 // tridiagonal solves per vector, O(n) each
+		maxAttempts   = 3 // re-factorizations with a nudged shift
+	)
+	eps4 := ulp * math.Sqrt(float64(n)) // cluster separation step (scaled units)
+	lu := newTriLU(n)
+	kvecs := make([]float64, k*n) // accepted vectors in the tridiagonal basis
+	lambdaPrev := math.Inf(1)
+	for j := 0; j < k; j++ {
+		lambda := values[j] * inv
+		// Within a cluster every member gets a shift eps4 below the
+		// previous one: distinct factorizations, so inverse iteration can
+		// tell the members apart before orthogonalization finishes the job.
+		if j > 0 && lambdaPrev-lambda < eps4 {
+			lambda = lambdaPrev - eps4
+		}
+		lambdaPrev = lambda
+		x := kvecs[j*n : (j+1)*n : (j+1)*n]
+		accepted := false
+		for attempt := 0; attempt < maxAttempts && !accepted; attempt++ {
+			lu.factor(ds, es, lambda)
+			for i := range x {
+				x[i] = 1
+			}
+			normalizeVec(x)
+			accepted = true
+			// A vector is accepted once it survives invIterations
+			// consecutive solve→orthogonalize rounds without collapsing;
+			// reseeds reset the count, bounded by a total budget.
+			good := 0
+			for it := 0; it < 3*invIterations && good < invIterations; it++ {
+				lu.solve(x)
+				if !finiteVec(x) {
+					// A pivot chain blew up; nudge the shift off the exact
+					// singularity and re-factor.
+					lambda -= eps4
+					accepted = false
+					break
+				}
+				pre := Norm2(x)
+				orthogonalize(x, kvecs, j, n)
+				// The iterate collapsed into the span of the accepted
+				// vectors when orthogonalization leaves only rounding
+				// residue (which can be a coherent direction, not noise —
+				// e.g. a uniform remainder on a repeated-eigenvalue
+				// identity block — so exact zero is not the right test).
+				// Reseed with a deterministic pseudo-random direction: it
+				// generically overlaps every eigenspace, where a canonical
+				// basis vector can lie entirely in the wrong one and trap
+				// the iteration on a foreign eigenvalue. The reseed does
+				// not count as progress — the next solve must pull it into
+				// the λ-eigenspace before it can be accepted.
+				if normalizeVec(x) <= 1e-8*pre {
+					seedVec(x, uint64(j)*uint64(3*invIterations)+uint64(it)+1)
+					orthogonalize(x, kvecs, j, n)
+					if normalizeVec(x) == 0 {
+						x[(j+it)%n] = 1
+						normalizeVec(x)
+					}
+					good = 0
+					continue
+				}
+				good++
+			}
+			if accepted && good < invIterations {
+				// Budget exhausted while still collapsing: treat like a
+				// blown pivot chain and re-factor off the cluster.
+				lambda -= eps4
+				accepted = false
+			}
+		}
+		if !accepted {
+			// Deterministic last resort: an orthonormalized basis vector.
+			// Unreachable for finite symmetric input, but the fuzz harness
+			// demands no path can emit NaN/Inf.
+			for i := range x {
+				x[i] = 0
+			}
+			x[j%n] = 1
+			orthogonalize(x, kvecs, j, n)
+			if normalizeVec(x) == 0 {
+				x[(j+1)%n] = 1
+				normalizeVec(x)
+			}
+		}
+	}
+
+	// Back-transform through the stored reflectors and canonicalize the
+	// sign, writing straight into the output columns.
+	vd := vectors.Data
+	for j := 0; j < k; j++ {
+		x := kvecs[j*n : (j+1)*n : (j+1)*n]
+		backTransform(x, n, vflat, offs)
+		canonicalizeSign(x)
+		for i := 0; i < n; i++ {
+			vd[i*k+j] = x[i]
+		}
+	}
+	return values, vectors
+}
+
+// tridiagonalize reduces the symmetric matrix in md (flat n×n) to
+// tridiagonal form via Householder reflections applied from the top-left
+// down: step j zeroes column j below the first subdiagonal. The unit
+// reflector vectors are stored packed in vflat (reflector j at offs[j],
+// length n-1-j; an all-zero vector is the identity reflector), the
+// diagonal lands in d and the subdiagonal in e. p is an n-length scratch
+// for the symmetric rank-2 update.
+func tridiagonalize(md []float64, n int, d, e, vflat []float64, offs []int, p []float64) {
+	off := 0
+	for j := 0; j < n-2; j++ {
+		mlen := n - 1 - j
+		offs[j] = off
+		v := vflat[off : off+mlen : off+mlen]
+		off += mlen
+		for r := 0; r < mlen; r++ {
+			v[r] = md[(j+1+r)*n+j]
+		}
+		var xnorm2 float64
+		for _, xv := range v {
+			xnorm2 += xv * xv
+		}
+		if xnorm2 == 0 {
+			// Column already tridiagonal here; v stays all-zero, which the
+			// back-transform treats as the identity.
+			e[j] = 0
+			continue
+		}
+		xnorm := math.Sqrt(xnorm2)
+		x0 := v[0]
+		alpha := -xnorm
+		if x0 < 0 {
+			alpha = xnorm
+		}
+		v[0] = x0 - alpha
+		// ‖v‖² = 2(‖x‖² − α·x0); α and x0 have opposite signs, so the
+		// subtraction cannot cancel.
+		vnorm := math.Sqrt(2 * (xnorm2 - alpha*x0))
+		vinv := 1 / vnorm
+		for r := range v {
+			v[r] *= vinv
+		}
+		e[j] = alpha
+		// Two-sided update of the trailing block B ← (I−2vvᵀ)B(I−2vvᵀ):
+		// with u = 2Bv and w = u − (vᵀu)v it is the rank-2 B −= vwᵀ + wvᵀ.
+		base := j + 1
+		for r := 0; r < mlen; r++ {
+			row := md[(base+r)*n+base : (base+r)*n+base+mlen : (base+r)*n+base+mlen]
+			var s float64
+			for c, bv := range row {
+				s += bv * v[c]
+			}
+			p[r] = 2 * s
+		}
+		var vu float64
+		for r := 0; r < mlen; r++ {
+			vu += v[r] * p[r]
+		}
+		for r := 0; r < mlen; r++ {
+			p[r] -= vu * v[r]
+		}
+		for r := 0; r < mlen; r++ {
+			row := md[(base+r)*n+base : (base+r)*n+base+mlen : (base+r)*n+base+mlen]
+			vr, pr := v[r], p[r]
+			for c := range row {
+				row[c] -= vr*p[c] + pr*v[c]
+			}
+		}
+	}
+	if n >= 2 {
+		e[n-2] = md[(n-2)*n+n-1]
+	}
+	e[n-1] = 0
+	for i := 0; i < n; i++ {
+		d[i] = md[i*n+i]
+	}
+}
+
+// qlImplicitShift diagonalizes the symmetric tridiagonal matrix (d, e)
+// in place: on return d holds the eigenvalues in no particular order and
+// e is destroyed. e[i] is the subdiagonal T[i][i+1], e[len-1] a zero
+// sentinel. It reports false if any eigenvalue fails to converge within
+// maxQLIterations sweeps — effectively impossible for finite input.
+//
+// This is the eigenvalue-only implicit-shift QL iteration (EISPACK
+// imtql1 / NR tqli with the eigenvector accumulation deleted): each
+// sweep chases one Givens bulge down the unreduced block, and the
+// Wilkinson shift makes the last off-diagonal entry vanish cubically.
+//
+// The deflation test is relative to the local diagonal OR absolute at
+// ulp·‖T‖∞. The absolute anchor matters on rank-deficient input — a
+// centered RBF kernel matrix has a long tail of eigenvalues at the
+// rounding floor, and once QL has pushed a block down to d ≈ e ≈
+// ulp·‖T‖, a purely relative test (ulp·(|d[m]|+|d[m+1]|), i.e. the
+// square of the floor) can never fire and the sweep stalls. Deflating
+// there costs nothing: Householder reduction already perturbed every
+// entry by O(ulp·‖T‖), so those eigenvalues carry that absolute error
+// no matter what QL does.
+func qlImplicitShift(d, e []float64) bool {
+	n := len(d)
+	tnorm := 0.0
+	for i := 0; i < n; i++ {
+		s := math.Abs(d[i]) + math.Abs(e[i])
+		if i > 0 {
+			s += math.Abs(e[i-1])
+		}
+		if s > tnorm {
+			tnorm = s
+		}
+	}
+	floor := ulp * tnorm
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Find the first negligible subdiagonal at or after l: the
+			// block [l, m] is what the sweep operates on.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= ulp*dd+floor {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == maxQLIterations {
+				return false
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c, pp := 1.0, 1.0, 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					// Premature deflation mid-sweep: split and restart.
+					d[i+1] -= pp
+					e[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - pp
+				r = (d[i]-g)*s + 2*c*b
+				pp = s * r
+				d[i+1] = g + pp
+				g = c*r - b
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= pp
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return true
+}
+
+// triLU is the reusable LU factorization of a shifted tridiagonal
+// (T − λI) with partial pivoting. Pivoting fills in one extra
+// superdiagonal, so U is stored in three bands (u, s1, s2); the row
+// operations (multiplier + swap flag per step) are kept so one
+// factorization can solve several right-hand sides.
+type triLU struct {
+	n          int
+	u, s1, s2  []float64
+	ml         []float64
+	swapped    []bool
+	pivotFloor float64
+}
+
+func newTriLU(n int) *triLU {
+	return &triLU{
+		n:       n,
+		u:       make([]float64, n),
+		s1:      make([]float64, n),
+		s2:      make([]float64, n),
+		ml:      make([]float64, n),
+		swapped: make([]bool, n),
+		// The matrix is pre-scaled to unit ∞-norm, so the floor replacing
+		// an exactly-zero pivot is a plain ulp.
+		pivotFloor: ulp,
+	}
+}
+
+// factor builds the pivoted LU of (T − λI) for the tridiagonal (d, e).
+func (lu *triLU) factor(d, e []float64, lambda float64) {
+	n := lu.n
+	for i := 0; i < n; i++ {
+		lu.u[i] = d[i] - lambda
+		if i < n-1 {
+			lu.s1[i] = e[i]
+		} else {
+			lu.s1[i] = 0
+		}
+		lu.s2[i] = 0
+	}
+	for i := 0; i < n-1; i++ {
+		sub := e[i] // subdiagonal entry of row i+1 (T is symmetric)
+		if math.Abs(lu.u[i]) >= math.Abs(sub) {
+			lu.swapped[i] = false
+			piv := lu.u[i]
+			if piv == 0 {
+				piv = lu.pivotFloor
+				lu.u[i] = piv
+			}
+			mlt := sub / piv
+			lu.ml[i] = mlt
+			lu.u[i+1] -= mlt * lu.s1[i]
+		} else {
+			// |sub| > |u[i]| ≥ 0, so dividing by sub is safe.
+			lu.swapped[i] = true
+			mlt := lu.u[i] / sub
+			lu.ml[i] = mlt
+			newU := lu.s1[i] - mlt*lu.u[i+1]
+			newS1 := -mlt * lu.s1[i+1]
+			lu.u[i] = sub
+			lu.s2[i] = lu.s1[i+1]
+			lu.s1[i] = lu.u[i+1]
+			lu.u[i+1] = newU
+			lu.s1[i+1] = newS1
+		}
+	}
+	if lu.u[n-1] == 0 {
+		lu.u[n-1] = lu.pivotFloor
+	}
+}
+
+// solve overwrites b with (T − λI)⁻¹ b using the stored factorization.
+func (lu *triLU) solve(b []float64) {
+	n := lu.n
+	for i := 0; i < n-1; i++ {
+		if lu.swapped[i] {
+			b[i], b[i+1] = b[i+1], b[i]
+		}
+		b[i+1] -= lu.ml[i] * b[i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		x := b[i]
+		if i+1 < n {
+			x -= lu.s1[i] * b[i+1]
+		}
+		if i+2 < n {
+			x -= lu.s2[i] * b[i+2]
+		}
+		b[i] = x / lu.u[i]
+	}
+}
+
+// orthogonalize removes from x its components along the first j accepted
+// vectors (rows of kvecs, each length n) by modified Gram-Schmidt.
+func orthogonalize(x, kvecs []float64, j, n int) {
+	for q := 0; q < j; q++ {
+		prev := kvecs[q*n : (q+1)*n : (q+1)*n]
+		var dot float64
+		for i, xv := range x {
+			dot += xv * prev[i]
+		}
+		for i := range x {
+			x[i] -= dot * prev[i]
+		}
+	}
+}
+
+// normalizeVec scales x to unit Euclidean norm and returns the norm it
+// had; a zero vector is left untouched.
+func normalizeVec(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	if s == 0 {
+		return 0
+	}
+	nrm := math.Sqrt(s)
+	inv := 1 / nrm
+	for i := range x {
+		x[i] *= inv
+	}
+	return nrm
+}
+
+// seedVec fills x with a deterministic pseudo-random direction derived
+// from tag (xorshift64), used to restart a collapsed inverse iterate
+// with generic overlap with every eigenspace.
+func seedVec(x []float64, tag uint64) {
+	s := tag*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for i := range x {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		x[i] = float64(s>>11)/float64(1<<52) - 1
+	}
+}
+
+func finiteVec(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// backTransform maps a tridiagonal-basis vector back to the original
+// basis by applying the stored Householder reflectors in reverse order:
+// x ← H₀H₁…H_{n-3} x, each Hⱼ acting on components j+1…n-1 as
+// x ← x − 2v(vᵀx). All-zero reflectors are identities and cost one dot
+// product to skip.
+func backTransform(x []float64, n int, vflat []float64, offs []int) {
+	for j := n - 3; j >= 0; j-- {
+		mlen := n - 1 - j
+		v := vflat[offs[j] : offs[j]+mlen : offs[j]+mlen]
+		seg := x[j+1 : n : n]
+		var dot float64
+		for i, vv := range v {
+			dot += vv * seg[i]
+		}
+		if dot == 0 {
+			continue
+		}
+		t := 2 * dot
+		for i, vv := range v {
+			seg[i] -= t * vv
+		}
+	}
+}
+
+// canonicalizeSign flips x so its largest-magnitude component (lowest
+// index on ties) is non-negative, making the eigenvector sign — which
+// the eigenproblem leaves free — a deterministic function of the input.
+func canonicalizeSign(x []float64) {
+	best, bestAbs := -1, 0.0
+	for i, v := range x {
+		if a := math.Abs(v); a > bestAbs {
+			best, bestAbs = i, a
+		}
+	}
+	if best >= 0 && x[best] < 0 {
+		for i := range x {
+			x[i] = -x[i]
+		}
+	}
+}

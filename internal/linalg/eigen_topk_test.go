@@ -1,0 +1,279 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The differential suite holds EigenSymTopK to the Jacobi oracle: the
+// two solvers share no code past Symmetrize, so agreement on random and
+// adversarial inputs is evidence the fast path computes the same
+// decomposition, not a plausible-looking one. Tolerances are relative to
+// the spectrum scale: both solvers are backward-stable, so eigenvalues
+// agree to O(ulp·‖A‖) and residuals sit at the same scale.
+
+// diffKs returns the k grid of the differential suite for size n:
+// a single vector, half the spectrum, and the full spectrum.
+func diffKs(n int) []int {
+	ks := []int{1, n / 2, n}
+	if n == 0 {
+		ks = []int{0}
+	}
+	return ks
+}
+
+// checkTopKAgainstOracle runs both solvers on a and asserts eigenvalue
+// agreement, residual bounds, orthonormality of the top-k vectors and —
+// for eigenvalues separated by more than gapTol — sign-canonicalized
+// eigenvector agreement.
+func checkTopKAgainstOracle(t *testing.T, a *Matrix, k int) {
+	t.Helper()
+	n := a.Rows
+	jvals, jvecs := EigenSym(a)
+	tvals, tvecs := EigenSymTopK(a, k)
+
+	if len(tvals) != n {
+		t.Fatalf("EigenSymTopK returned %d eigenvalues, want all %d", len(tvals), n)
+	}
+	if tvecs.Rows != n || tvecs.Cols != k {
+		t.Fatalf("EigenSymTopK vectors are %d×%d, want %d×%d", tvecs.Rows, tvecs.Cols, n, k)
+	}
+	scale := 1.0
+	if n > 0 {
+		scale = 1 + math.Max(math.Abs(jvals[0]), math.Abs(jvals[n-1]))
+	}
+
+	// Eigenvalue agreement across the whole spectrum, not just the top k.
+	for i := range jvals {
+		if math.Abs(jvals[i]-tvals[i]) > 1e-9*scale {
+			t.Errorf("eigenvalue %d: jacobi %v vs topk %v", i, jvals[i], tvals[i])
+		}
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(tvals))) {
+		t.Errorf("topk eigenvalues not descending: %v", tvals)
+	}
+
+	// Residual ‖Av − λv‖ ≤ tol·scale for every returned eigenpair.
+	for j := 0; j < k; j++ {
+		v := tvecs.Col(j)
+		av := a.MulVec(v)
+		var res float64
+		for i := range v {
+			r := av[i] - tvals[j]*v[i]
+			res += r * r
+		}
+		if math.Sqrt(res) > 1e-8*scale {
+			t.Errorf("eigpair %d (λ=%v): residual ‖Av−λv‖ = %v", j, tvals[j], math.Sqrt(res))
+		}
+	}
+
+	// The top-k vectors form an orthonormal set.
+	if k > 0 {
+		vtv := Mul(tvecs.T(), tvecs)
+		if !matApproxEq(vtv, Identity(k), 1e-8) {
+			t.Errorf("top-%d vectors not orthonormal:\n%v", k, vtv)
+		}
+	}
+
+	// Sign-canonicalized eigenvector comparison, restricted to eigenpairs
+	// whose eigenvalue is simple at the comparison tolerance — inside a
+	// cluster the individual vectors are not determined, only their span
+	// (which the residual and orthonormality checks pin down instead).
+	gapTol := 1e-6 * scale
+	for j := 0; j < k; j++ {
+		sep := true
+		if j > 0 && jvals[j-1]-jvals[j] < gapTol {
+			sep = false
+		}
+		if j < n-1 && jvals[j]-jvals[j+1] < gapTol {
+			sep = false
+		}
+		if !sep {
+			continue
+		}
+		jv := jvecs.Col(j)
+		tv := tvecs.Col(j)
+		// Align signs by the overlap rather than canonicalizing each side
+		// independently: on matrices with mirror-symmetric eigenvectors
+		// (e.g. Toeplitz-shaped kernels) the largest-magnitude component
+		// is a near-exact tie, and last-bit differences would make the
+		// two solvers canonicalize to opposite signs.
+		if Dot(jv, tv) < 0 {
+			for i := range tv {
+				tv[i] = -tv[i]
+			}
+		}
+		for i := range jv {
+			if math.Abs(jv[i]-tv[i]) > 1e-6 {
+				t.Errorf("eigvec %d component %d: jacobi %v vs topk %v", j, i, jv[i], tv[i])
+				break
+			}
+		}
+	}
+}
+
+// TestEigenSymTopKDifferentialRandomSPD: the headline grid — seeded
+// random SPD matrices at the sizes KPCA actually sees, each at k = 1,
+// n/2 and n.
+func TestEigenSymTopKDifferentialRandomSPD(t *testing.T) {
+	for _, n := range []int{5, 30, 60, 120} {
+		rng := rand.New(rand.NewSource(int64(1000 + n)))
+		a := randomSPD(rng, n)
+		for _, k := range diffKs(n) {
+			t.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(t *testing.T) {
+				checkTopKAgainstOracle(t, a, k)
+			})
+		}
+	}
+}
+
+// TestEigenSymTopKDifferentialKernelShaped: RBF-Gram-shaped matrices —
+// the exact input family the KPCA path feeds the solver, including the
+// rapid spectral decay that makes the tail cluster near zero.
+func TestEigenSymTopKDifferentialKernelShaped(t *testing.T) {
+	for _, n := range []int{5, 30, 60, 120} {
+		a := benchSym(n)
+		for _, k := range diffKs(n) {
+			t.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(t *testing.T) {
+				checkTopKAgainstOracle(t, a, k)
+			})
+		}
+	}
+}
+
+// repeatedEigenvalueMatrix builds Q·diag(vals)·Qᵀ for a deterministic
+// orthogonal Q, so the eigenvalues (and their multiplicities) are known
+// exactly.
+func spectrumMatrix(rng *rand.Rand, vals []float64) *Matrix {
+	n := len(vals)
+	// Orthogonalize a random matrix by Gram-Schmidt to get Q.
+	q := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+		for prev := 0; prev < j; prev++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += col[i] * q.At(i, prev)
+			}
+			for i := 0; i < n; i++ {
+				col[i] -= dot * q.At(i, prev)
+			}
+		}
+		nrm := Norm2(col)
+		for i := 0; i < n; i++ {
+			q.Set(i, j, col[i]/nrm)
+		}
+	}
+	d := NewMatrix(n, n)
+	for i, v := range vals {
+		d.Set(i, i, v)
+	}
+	return Mul(Mul(q, d), q.T())
+}
+
+// TestEigenSymTopKAdversarial: the shapes inverse iteration is known to
+// find hard — repeated and tightly clustered eigenvalues, rank
+// deficiency, near-zero trace (an indefinite spectrum straddling 0).
+func TestEigenSymTopKAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := []struct {
+		name string
+		a    *Matrix
+		k    int
+	}{
+		{"repeated", spectrumMatrix(rng, []float64{5, 5, 5, 2, 2, 1, 1, 1}), 8},
+		{"clustered", spectrumMatrix(rng, []float64{
+			3, 3 - 1e-13, 3 - 2e-13, 1, 1 - 1e-13, 0.5, 0.1, 0.05}), 8},
+		{"rank-deficient", spectrumMatrix(rng, []float64{4, 2, 1, 0, 0, 0, 0}), 7},
+		{"near-zero-trace", spectrumMatrix(rng, []float64{3, 1, 0.5, -0.5, -1, -3}), 6},
+		{"identity", Identity(6), 6},
+		{"zero", NewMatrix(4, 4), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkTopKAgainstOracle(t, tc.a, tc.k)
+		})
+	}
+}
+
+// TestEigenSymTopKDegenerateSizes: 0×0 and 1×1 inputs, where the
+// reduction and iteration machinery must degrade to no-ops.
+func TestEigenSymTopKDegenerateSizes(t *testing.T) {
+	vals, vecs := EigenSymTopK(NewMatrix(0, 0), 3)
+	if len(vals) != 0 || vecs.Rows != 0 || vecs.Cols != 0 {
+		t.Errorf("0×0: got %v, %d×%d", vals, vecs.Rows, vecs.Cols)
+	}
+	one := FromRows([][]float64{{-2.5}})
+	vals, vecs = EigenSymTopK(one, 1)
+	if len(vals) != 1 || !approxEq(vals[0], -2.5, 1e-15) {
+		t.Errorf("1×1: eigenvalues %v, want [-2.5]", vals)
+	}
+	if vecs.Rows != 1 || vecs.Cols != 1 || !approxEq(vecs.At(0, 0), 1, 1e-15) {
+		t.Errorf("1×1: vectors %v, want [[1]]", vecs)
+	}
+}
+
+// TestEigenSymTopKClampsK: k outside [0, n] is clamped, matching the
+// "component budget" call sites that pass min(n, MaxComponents).
+func TestEigenSymTopKClampsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSPD(rng, 5)
+	vals, vecs := EigenSymTopK(a, 99)
+	if vecs.Cols != 5 || len(vals) != 5 {
+		t.Errorf("k>n: got %d cols, want 5", vecs.Cols)
+	}
+	vals, vecs = EigenSymTopK(a, -3)
+	if vecs.Cols != 0 || len(vals) != 5 {
+		t.Errorf("k<0: got %d cols (%d values), want 0 cols, 5 values", vecs.Cols, len(vals))
+	}
+}
+
+// TestEigenSymTopKDeterministic: two runs on the same input are
+// bit-identical — the solver has no random state, and the sign
+// canonicalization removes the one free choice the eigenproblem leaves.
+func TestEigenSymTopKDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomSPD(rng, 40)
+	v1, m1 := EigenSymTopK(a, 12)
+	v2, m2 := EigenSymTopK(a, 12)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("eigenvalue %d differs across runs: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	for i := range m1.Data {
+		if m1.Data[i] != m2.Data[i] {
+			t.Fatalf("eigenvector entry %d differs across runs", i)
+		}
+	}
+}
+
+// TestEigenSymTopKDoesNotMutateInput: like EigenSym, the input matrix is
+// cloned, never written.
+func TestEigenSymTopKDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomSPD(rng, 9)
+	before := a.Clone()
+	EigenSymTopK(a, 4)
+	for i := range a.Data {
+		if a.Data[i] != before.Data[i] {
+			t.Fatal("EigenSymTopK mutated its input")
+		}
+	}
+}
+
+// TestEigenSymTopKPanicsOnNonSquare mirrors the EigenSym contract.
+func TestEigenSymTopKPanicsOnNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-square input")
+		}
+	}()
+	EigenSymTopK(NewMatrix(2, 3), 1)
+}

@@ -48,9 +48,10 @@ go test -race ./internal/fault
 go test -race -run 'TestChaosDisabledFaultsAreNoOp|TestChaosPanicSurfacesAsReportError' .
 go test -race -run 'TestReload|TestQuery' ./internal/serve ./cmd/driftserve
 
-echo "==> fuzz seed corpus (hearst parser + lint CFG invariants, seeds only)"
+echo "==> fuzz seed corpus (hearst parser + lint CFG + top-k eigensolver, seeds only)"
 go test -run 'FuzzParseSentence' ./internal/hearst
 go test -run 'FuzzCFG' ./internal/lint
+go test -run 'FuzzEigenSymTopK' ./internal/linalg
 
 echo "==> go test -race ./..."
 go test -race ./...
