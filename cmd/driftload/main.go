@@ -16,11 +16,18 @@
 //	driftload -duration 2s           # wall time per load cell
 //	driftload -seed 7                # query-mix seed
 //	driftload -inflight N -queue N   # per-shard admission control
+//	driftload -minreload 5           # require binary reload ≥5x faster than gob
 //	driftload -validate serve.json   # validate an existing artifact and exit
+//
+// Alongside the load sweep, the harness saves the KB in both snapshot
+// formats (gob and the zero-copy binary columnar format) and measures
+// hot-reload latency plus per-replica heap for each; the comparison
+// lands in the artifact's "reload" block.
 //
 // The exit status is nonzero if responses diverge across shard counts
 // (sharding must be semantically invisible), if any load cell completes
-// no queries or reports incoherent percentiles, or if -validate finds a
+// no queries or reports incoherent percentiles, if the binary-format
+// reload speedup falls below -minreload, or if -validate finds a
 // malformed artifact.
 package main
 
@@ -44,6 +51,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "query-mix seed (0 keeps the sweep default)")
 	inflight := flag.Int("inflight", 0, "per-shard admission: max concurrently executing queries (0 = unlimited)")
 	queue := flag.Int("queue", 0, "per-shard admission: queued queries beyond -inflight before shedding")
+	minReload := flag.Float64("minreload", 0, "fail unless the binary snapshot reloads at least this many times faster than gob (0 = only require not-slower)")
 	validate := flag.String("validate", "", "validate an existing artifact at this path and exit")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -52,7 +60,7 @@ func main() {
 	}
 
 	if *validate != "" {
-		if err := validateArtifact(*validate); err != nil {
+		if err := validateArtifact(*validate, *minReload); err != nil {
 			fmt.Fprintf(os.Stderr, "driftload: %v\n", err)
 			os.Exit(1)
 		}
@@ -93,6 +101,11 @@ func main() {
 
 	fmt.Printf("\nshard counts %v  identical=%v  cells=%d  artifact=%s\n",
 		cfg.ShardCounts, res.Identical, len(res.Cells), *out)
+	if rl := res.Reload; rl != nil {
+		fmt.Printf("reload p50: gob %dus -> binary %dus (%.1fx faster), heap/replica: gob %d KB -> binary %d KB\n",
+			rl.Gob.ReloadP50Micros, rl.Binary.ReloadP50Micros, rl.SpeedupX,
+			rl.Gob.HeapBytesPerReplica/1024, rl.Binary.HeapBytesPerReplica/1024)
+	}
 	if !res.Identical {
 		fmt.Fprintf(os.Stderr, "driftload: responses diverged across shard counts: %v — sharding must be semantically invisible\n",
 			res.ResponseFingerprint)
@@ -100,6 +113,11 @@ func main() {
 	}
 	if err := bench.ValidateServe(res); err != nil {
 		fmt.Fprintf(os.Stderr, "driftload: malformed run: %v\n", err)
+		os.Exit(1)
+	}
+	if *minReload > 0 && res.Reload.SpeedupX < *minReload {
+		fmt.Fprintf(os.Stderr, "driftload: binary reload speedup %.1fx is below the -minreload %.1fx floor\n",
+			res.Reload.SpeedupX, *minReload)
 		os.Exit(1)
 	}
 }
@@ -118,8 +136,10 @@ func parseShardCounts(csv string) ([]int, error) {
 }
 
 // validateArtifact loads an artifact from disk and runs the schema and
-// coherence checks over it — the CI gate against malformed output.
-func validateArtifact(path string) error {
+// coherence checks over it — the CI gate against malformed output. A
+// positive minReload additionally enforces the binary-format reload
+// speedup floor on the artifact's recorded numbers.
+func validateArtifact(path string, minReload float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading artifact: %w", err)
@@ -130,6 +150,10 @@ func validateArtifact(path string) error {
 	}
 	if err := bench.ValidateServe(&res); err != nil {
 		return fmt.Errorf("artifact %s: %w", path, err)
+	}
+	if minReload > 0 && res.Reload.SpeedupX < minReload {
+		return fmt.Errorf("artifact %s: binary reload speedup %.1fx is below the -minreload %.1fx floor",
+			path, res.Reload.SpeedupX, minReload)
 	}
 	return nil
 }

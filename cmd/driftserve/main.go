@@ -61,7 +61,7 @@ import (
 
 	"driftclean"
 	"driftclean/internal/corpus"
-	"driftclean/internal/kb"
+	"driftclean/internal/kb/kbio"
 	"driftclean/internal/serve"
 	"driftclean/internal/snapshot"
 )
@@ -110,13 +110,13 @@ func main() {
 
 // run loads the KB, builds the service and serves until SIGTERM/SIGINT.
 func run(kbPath, addr string, timeout time.Duration, opts serve.Options, logger *log.Logger) error {
-	snap, err := freezeFile(kbPath)
+	snap, format, err := kbio.FreezeFile(kbPath)
 	if err != nil {
 		return err
 	}
 	svc := serve.New(snap, opts)
-	logger.Printf("loaded %s: generation %d, %d concepts, %d pairs",
-		kbPath, snap.Generation(), snap.Stats().Concepts, snap.Stats().DistinctPairs)
+	logger.Printf("loaded %s (%s format): generation %d, %d concepts, %d pairs",
+		kbPath, format, snap.Generation(), snap.Stats().Concepts, snap.Stats().DistinctPairs)
 
 	// Reloads go through a Reloader: transient load failures are retried
 	// with capped exponential backoff, persistent failure opens a circuit
@@ -165,7 +165,7 @@ func run(kbPath, addr string, timeout time.Duration, opts serve.Options, logger 
 // failing to reload leaves the other shards fresh, and /v1/reload
 // reports every shard's error rather than stopping at the first.
 func runSharded(kbPath string, shards int, partial bool, addr string, timeout time.Duration, opts serve.Options, logger *log.Logger) error {
-	snap, err := freezeFile(kbPath)
+	snap, format, err := kbio.FreezeFile(kbPath)
 	if err != nil {
 		return err
 	}
@@ -187,8 +187,8 @@ func runSharded(kbPath string, shards int, partial bool, addr string, timeout ti
 		}, serve.ReloadConfig{JitterSeed: int64(shard + 1)})
 	}
 	router := serve.NewRouter(svcs, ring, serve.RouterOptions{AllowPartial: partial})
-	logger.Printf("loaded %s across %d shards: generation %d, %d concepts, %d pairs",
-		kbPath, shards, snap.Generation(), snap.Stats().Concepts, snap.Stats().DistinctPairs)
+	logger.Printf("loaded %s (%s format) across %d shards: generation %d, %d concepts, %d pairs",
+		kbPath, format, shards, snap.Generation(), snap.Stats().Concepts, snap.Stats().DistinctPairs)
 
 	reload := func() error {
 		var errs []error
@@ -317,11 +317,11 @@ func serveUntilShutdown(ctx context.Context, srv *http.Server, logger *log.Logge
 	return nil
 }
 
-// freezeFile loads a KB file and freezes it into a snapshot.
+// freezeFile loads a KB file — gob or binary columnar, auto-detected —
+// and freezes it into a snapshot. Binary snapshots open zero-copy via
+// mmap, so reload cost does not grow with KB size and co-located shard
+// replicas share the file's page cache.
 func freezeFile(path string) (*snapshot.Snapshot, error) {
-	k, err := kb.LoadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return snapshot.Freeze(k), nil
+	snap, _, err := kbio.FreezeFile(path)
+	return snap, err
 }

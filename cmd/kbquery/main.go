@@ -30,8 +30,7 @@ import (
 	"os"
 	"strconv"
 
-	"driftclean/internal/kb"
-	"driftclean/internal/snapshot"
+	"driftclean/internal/kb/kbio"
 )
 
 func main() {
@@ -67,11 +66,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return usage(stderr)
 	}
 
-	k, err := kb.LoadFile(*kbPath)
+	// The KB may be a gob stream or a binary columnar snapshot; kbio
+	// sniffs the format, so both open transparently.
+	snap, _, err := kbio.FreezeFile(*kbPath)
 	if err != nil {
 		return fail(stderr, "loading %s: %v", *kbPath, err)
 	}
-	snap := snapshot.Freeze(k)
 
 	switch cmd {
 	case "stats":

@@ -1,0 +1,169 @@
+// Command kbsnap is the ops tool for saved knowledge-base snapshots:
+// convert between the gob stream and the zero-copy binary columnar
+// format, inspect a snapshot's header and statistics, and verify
+// integrity (checksum plus full structural validation) without loading
+// the KB into a server.
+//
+// Usage:
+//
+//	kbsnap convert IN OUT [gob|binary]   re-encode IN as OUT (default: the other format)
+//	kbsnap info FILE                     format, sizes, stats, checksum
+//	kbsnap verify FILE                   validate; exit 0 iff the snapshot is sound
+//
+// Input formats are auto-detected, so convert also rewrites a snapshot
+// in its own format (normalizing it). Output files are published
+// atomically, like every snapshot write in this repo.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"driftclean/internal/kb"
+	"driftclean/internal/kb/binsnap"
+	"driftclean/internal/kb/kbio"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point. Exit codes: 0 success, 1 operational
+// error (unreadable, corrupt), 2 usage error.
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) < 1 {
+		return usage(stderr)
+	}
+	cmd, rest := argv[0], argv[1:]
+	switch cmd {
+	case "convert":
+		if len(rest) < 2 || len(rest) > 3 {
+			return usage(stderr)
+		}
+		target := ""
+		if len(rest) == 3 {
+			target = rest[2]
+			if target != "gob" && target != "binary" {
+				return usage(stderr)
+			}
+		}
+		return convert(rest[0], rest[1], target, stdout, stderr)
+	case "info":
+		if len(rest) != 1 {
+			return usage(stderr)
+		}
+		return info(rest[0], stdout, stderr)
+	case "verify":
+		if len(rest) != 1 {
+			return usage(stderr)
+		}
+		return verify(rest[0], stdout, stderr)
+	}
+	return usage(stderr)
+}
+
+// convert re-encodes src as dst. With no explicit target format, the
+// output gets the opposite format of the input — the common migration
+// direction either way.
+func convert(src, dst, target string, stdout, stderr io.Writer) int {
+	k, format, err := kbio.LoadKB(src)
+	if err != nil {
+		return fail(stderr, "loading %s: %v", src, err)
+	}
+	if target == "" {
+		if format == kbio.FormatGob {
+			target = "binary"
+		} else {
+			target = "gob"
+		}
+	}
+	if target == "binary" {
+		err = binsnap.WriteFile(dst, k)
+	} else {
+		err = k.SaveFile(dst)
+	}
+	if err != nil {
+		return fail(stderr, "writing %s: %v", dst, err)
+	}
+	st, err := os.Stat(dst)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	fmt.Fprintf(stdout, "converted %s (%s) -> %s (%s), %d bytes, %d pairs\n",
+		src, format, dst, target, st.Size(), k.NumPairs())
+	return 0
+}
+
+// info prints the snapshot's format, sizes and statistics; for binary
+// snapshots also the header's version, element counts and checksum.
+func info(path string, stdout, stderr io.Writer) int {
+	format, err := kbio.Detect(path)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	fmt.Fprintf(stdout, "format:   %s\n", format)
+	var stats kb.Stats
+	switch format {
+	case kbio.FormatBinary:
+		v, err := binsnap.Open(path)
+		if err != nil {
+			return fail(stderr, "opening %s: %v", path, err)
+		}
+		defer v.Close()
+		h := v.Header()
+		fmt.Fprintf(stdout, "version:  %d\nbytes:    %d\nchecksum: %08x\n", h.Version, h.FileBytes, h.Checksum)
+		fmt.Fprintf(stdout, "strings:  %d\nextractions: %d (total, incl. rolled back)\npair records: %d (incl. zero-count)\n",
+			h.Strings, h.Extractions, h.Pairs)
+		stats = h.Stats
+	default:
+		k, _, err := kbio.LoadKB(path)
+		if err != nil {
+			return fail(stderr, "loading %s: %v", path, err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+		fmt.Fprintf(stdout, "bytes:    %d\nextractions: %d (total, incl. rolled back)\n", st.Size(), k.NumExtractions())
+		stats = k.Stats()
+	}
+	fmt.Fprintf(stdout, "concepts: %d\npairs:    %d\ncounts:   %d\nactive extractions: %d\n",
+		stats.Concepts, stats.DistinctPairs, stats.TotalCount, stats.ActiveExtractions)
+	return 0
+}
+
+// verify fully validates the snapshot — for binary files checksum and
+// structure via Open, for gob files decode-time validation via LoadKB —
+// and reports OK or the precise corruption.
+func verify(path string, stdout, stderr io.Writer) int {
+	format, err := kbio.Detect(path)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	if format == kbio.FormatBinary {
+		v, err := binsnap.Open(path)
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+		defer v.Close()
+		fmt.Fprintf(stdout, "%s: OK (binary, checksum %08x, %d pairs)\n", path, v.Header().Checksum, v.NumPairs())
+		return 0
+	}
+	k, _, err := kbio.LoadKB(path)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	fmt.Fprintf(stdout, "%s: OK (gob, %d pairs)\n", path, k.NumPairs())
+	return 0
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: kbsnap convert IN OUT [gob|binary] | info FILE | verify FILE")
+	return 2
+}
+
+func fail(stderr io.Writer, format string, args ...any) int {
+	fmt.Fprintf(stderr, "kbsnap: "+format+"\n", args...)
+	return 1
+}

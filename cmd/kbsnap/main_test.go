@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"driftclean/internal/kb"
+	"driftclean/internal/kb/kbio"
+)
+
+func testKB() *kb.KB {
+	k := kb.New()
+	k.AddExtraction(0, "animal", nil, []string{"chicken", "dog"}, nil, 1)
+	k.AddExtraction(1, "animal", nil, []string{"pork"}, []string{"chicken"}, 2)
+	return k
+}
+
+// exec runs the tool and returns exit code, stdout, stderr.
+func exec(t *testing.T, argv ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(argv, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := filepath.Join(dir, "kb.gob")
+	binPath := filepath.Join(dir, "kb.bin")
+	backPath := filepath.Join(dir, "back.gob")
+	orig := testKB()
+	if err := orig.SaveFile(gobPath); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, out, errOut := exec(t, "convert", gobPath, binPath); code != 0 {
+		t.Fatalf("convert to binary: code %d, %s%s", code, out, errOut)
+	}
+	if f, err := kbio.Detect(binPath); err != nil || f != kbio.FormatBinary {
+		t.Fatalf("output not binary: %v, %v", f, err)
+	}
+	if code, out, errOut := exec(t, "convert", binPath, backPath); code != 0 {
+		t.Fatalf("convert back to gob: code %d, %s%s", code, out, errOut)
+	}
+	if f, err := kbio.Detect(backPath); err != nil || f != kbio.FormatGob {
+		t.Fatalf("round-trip output not gob: %v, %v", f, err)
+	}
+	back, _, err := kbio.LoadKB(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Pairs(), orig.Pairs()) || back.Stats() != orig.Stats() {
+		t.Fatal("gob→binary→gob round trip changed the KB")
+	}
+}
+
+func TestConvertExplicitTarget(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := filepath.Join(dir, "kb.gob")
+	if err := testKB().SaveFile(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit same-format target: a normalizing rewrite.
+	out := filepath.Join(dir, "norm.gob")
+	if code, _, errOut := exec(t, "convert", gobPath, out, "gob"); code != 0 {
+		t.Fatalf("code %d: %s", code, errOut)
+	}
+	if f, _ := kbio.Detect(out); f != kbio.FormatGob {
+		t.Fatal("explicit gob target produced non-gob output")
+	}
+}
+
+func TestInfoAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := filepath.Join(dir, "kb.gob")
+	binPath := filepath.Join(dir, "kb.bin")
+	if err := testKB().SaveFile(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := exec(t, "convert", gobPath, binPath); code != 0 {
+		t.Fatal(errOut)
+	}
+
+	code, out, _ := exec(t, "info", binPath)
+	if code != 0 {
+		t.Fatalf("info failed: %s", out)
+	}
+	for _, want := range []string{"format:   binary", "checksum:", "pairs:    3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info output missing %q:\n%s", want, out)
+		}
+	}
+	code, out, _ = exec(t, "info", gobPath)
+	if code != 0 || !strings.Contains(out, "format:   gob") {
+		t.Fatalf("gob info: code %d\n%s", code, out)
+	}
+
+	if code, out, _ = exec(t, "verify", binPath); code != 0 || !strings.Contains(out, "OK") {
+		t.Fatalf("verify binary: code %d, %s", code, out)
+	}
+	if code, out, _ = exec(t, "verify", gobPath); code != 0 || !strings.Contains(out, "OK") {
+		t.Fatalf("verify gob: code %d, %s", code, out)
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	gobPath := filepath.Join(dir, "kb.gob")
+	binPath := filepath.Join(dir, "kb.bin")
+	if err := testKB().SaveFile(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := exec(t, "convert", gobPath, binPath); code != 0 {
+		t.Fatal(errOut)
+	}
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(binPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := exec(t, "verify", binPath)
+	if code != 1 {
+		t.Fatalf("verify of corrupt file: code %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "corrupt") {
+		t.Fatalf("error does not mention corruption: %s", errOut)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, argv := range [][]string{
+		{}, {"bogus"}, {"convert", "one"}, {"convert", "a", "b", "c", "d"},
+		{"convert", "a", "b", "xml"}, {"info"}, {"verify"}, {"info", "a", "b"},
+	} {
+		if code, _, _ := exec(t, argv...); code != 2 {
+			t.Fatalf("argv %v: code %d, want 2", argv, code)
+		}
+	}
+}
+
+func TestOperationalErrors(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "missing")
+	for _, argv := range [][]string{
+		{"info", missing}, {"verify", missing},
+		{"convert", missing, filepath.Join(t.TempDir(), "out")},
+	} {
+		if code, _, _ := exec(t, argv...); code != 1 {
+			t.Fatalf("argv %v: code %d, want 1", argv, code)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"driftclean/internal/core"
 	"driftclean/internal/corpus"
 	"driftclean/internal/extract"
+	"driftclean/internal/kb"
 	"driftclean/internal/serve"
 	"driftclean/internal/snapshot"
 	"driftclean/internal/world"
@@ -60,6 +61,10 @@ type ServeConfig struct {
 	CacheSize   int
 	MaxInflight int
 	QueueDepth  int
+	// ReloadReplicas is how many co-resident snapshot replicas the
+	// reload benchmark holds live for its per-replica heap measurement
+	// (0 skips the reload benchmark entirely).
+	ReloadReplicas int
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress func(string)
 }
@@ -68,12 +73,13 @@ type ServeConfig struct {
 // BENCH_serve.json.
 func DefaultServeConfig() ServeConfig {
 	return ServeConfig{
-		Sentences:     12000,
-		ShardCounts:   []int{1, 2, 4, 8},
-		ClosedWorkers: []int{1, 4, 16},
-		OpenRates:     []int{500, 2000},
-		Duration:      1500 * time.Millisecond,
-		Seed:          1,
+		Sentences:      12000,
+		ShardCounts:    []int{1, 2, 4, 8},
+		ClosedWorkers:  []int{1, 4, 16},
+		OpenRates:      []int{500, 2000},
+		Duration:       1500 * time.Millisecond,
+		Seed:           1,
+		ReloadReplicas: 4,
 	}
 }
 
@@ -81,12 +87,13 @@ func DefaultServeConfig() ServeConfig {
 // identity check across shard counts, not the timings.
 func SmokeServeConfig() ServeConfig {
 	return ServeConfig{
-		Sentences:     3000,
-		ShardCounts:   []int{1, 2},
-		ClosedWorkers: []int{4},
-		OpenRates:     []int{200},
-		Duration:      150 * time.Millisecond,
-		Seed:          1,
+		Sentences:      3000,
+		ShardCounts:    []int{1, 2},
+		ClosedWorkers:  []int{4},
+		OpenRates:      []int{200},
+		Duration:       150 * time.Millisecond,
+		Seed:           1,
+		ReloadReplicas: 2,
 	}
 }
 
@@ -134,7 +141,10 @@ type ServeResult struct {
 	// response set; Identical asserts they all match.
 	ResponseFingerprint map[string]string `json:"response_fingerprint"`
 	Identical           bool              `json:"identical"`
-	Cells               []ServeCell       `json:"cells"`
+	// Reload compares hot-reload latency and per-replica heap between
+	// the gob and binary snapshot formats over this run's KB.
+	Reload *ReloadStats `json:"reload"`
+	Cells  []ServeCell  `json:"cells"`
 }
 
 // RunServe builds the KB, verifies response identity across every shard
@@ -150,12 +160,22 @@ func RunServe(cfg ServeConfig) *ServeResult {
 		ResponseFingerprint: make(map[string]string, len(cfg.ShardCounts)),
 	}
 
-	snap := buildServeSnapshot(cfg.Sentences)
+	snap, benchKB := buildServeSnapshot(cfg.Sentences)
 	res.Concepts = snap.Stats().Concepts
 	res.Pairs = snap.NumPairs()
 	space := newQuerySpace(snap)
 	if cfg.Progress != nil {
 		cfg.Progress(fmt.Sprintf("snapshot ready: %d concepts, %d pairs", res.Concepts, res.Pairs))
+	}
+
+	if cfg.ReloadReplicas > 0 {
+		reload, err := measureReload(benchKB, cfg.ReloadReplicas, cfg.Progress)
+		if err != nil {
+			// The reload comparison is part of the artifact contract;
+			// failing to produce it is a failed run, not a partial one.
+			panic(fmt.Sprintf("bench: reload measurement failed: %v", err))
+		}
+		res.Reload = reload
 	}
 
 	res.Identical = true
@@ -190,14 +210,16 @@ func RunServe(cfg ServeConfig) *ServeResult {
 // buildServeSnapshot runs world → corpus → extraction and freezes the
 // raw extracted KB. Cleaning is skipped: the serving layer is
 // indifferent to pair quality, and the uncleaned KB is the larger,
-// harder-to-serve one.
-func buildServeSnapshot(sentences int) *snapshot.Snapshot {
+// harder-to-serve one. The KB itself is returned alongside the frozen
+// snapshot so the reload benchmark can save it in both on-disk formats;
+// Freeze clones, so the returned KB stays independent of the snapshot.
+func buildServeSnapshot(sentences int) (*snapshot.Snapshot, *kb.KB) {
 	cfg := core.DefaultConfig()
 	cfg.Corpus.NumSentences = sentences
 	w := world.New(cfg.World)
 	c := corpus.Generate(w, cfg.Corpus)
 	ext := extract.Run(c, cfg.Extract)
-	return snapshot.Freeze(ext.KB)
+	return snapshot.Freeze(ext.KB), ext.KB
 }
 
 // buildServeFleet partitions snap across the shard count behind a
@@ -475,6 +497,9 @@ func ValidateServe(r *ServeResult) error {
 	if len(r.Cells) == 0 {
 		return fmt.Errorf("bench: artifact holds no load cells")
 	}
+	if err := validateReload(r.Reload); err != nil {
+		return err
+	}
 	for i, c := range r.Cells {
 		l := c.Latency
 		switch {
@@ -490,6 +515,36 @@ func ValidateServe(r *ServeResult) error {
 		case l.Errors > 0:
 			return fmt.Errorf("bench: cell %d: %d queries failed (sheds are reported separately)", i, l.Errors)
 		}
+	}
+	return nil
+}
+
+// validateReload checks the reload comparison: present, coherent
+// per-format numbers, and the binary format not slower than gob — the
+// whole point of shipping a second snapshot format.
+func validateReload(rl *ReloadStats) error {
+	if rl == nil {
+		return fmt.Errorf("bench: artifact has no reload comparison (gob vs binary)")
+	}
+	if rl.Replicas < 1 || rl.Iterations < 1 {
+		return fmt.Errorf("bench: reload comparison ran %d replicas over %d iterations", rl.Replicas, rl.Iterations)
+	}
+	for _, f := range []struct {
+		name string
+		s    ReloadFormatStats
+	}{{"gob", rl.Gob}, {"binary", rl.Binary}} {
+		switch {
+		case f.s.FileBytes <= 0:
+			return fmt.Errorf("bench: reload: %s snapshot file is empty", f.name)
+		case f.s.ReloadP50Micros < 1 || f.s.ReloadMaxMicros < f.s.ReloadP50Micros:
+			return fmt.Errorf("bench: reload: %s latencies incoherent: p50=%dus max=%dus",
+				f.name, f.s.ReloadP50Micros, f.s.ReloadMaxMicros)
+		case f.s.HeapBytesPerReplica < 0:
+			return fmt.Errorf("bench: reload: %s heap per replica negative", f.name)
+		}
+	}
+	if rl.SpeedupX < 1 {
+		return fmt.Errorf("bench: reload: binary snapshot reloads %.2fx as fast as gob — it must not be slower", rl.SpeedupX)
 	}
 	return nil
 }

@@ -11,12 +11,13 @@ import (
 // identity gate (two shard counts) and both load modes.
 func tinyServeConfig() ServeConfig {
 	return ServeConfig{
-		Sentences:     1200,
-		ShardCounts:   []int{1, 3},
-		ClosedWorkers: []int{2},
-		OpenRates:     []int{100},
-		Duration:      40 * time.Millisecond,
-		Seed:          1,
+		Sentences:      1200,
+		ShardCounts:    []int{1, 3},
+		ClosedWorkers:  []int{2},
+		OpenRates:      []int{100},
+		Duration:       40 * time.Millisecond,
+		Seed:           1,
+		ReloadReplicas: 2,
 	}
 }
 
@@ -43,6 +44,15 @@ func TestRunServeProducesCoherentArtifact(t *testing.T) {
 			t.Errorf("cell shards=%d mode=%s had %d failed queries", c.Shards, c.Mode, c.Latency.Errors)
 		}
 	}
+	if res.Reload == nil {
+		t.Fatal("run produced no reload comparison")
+	}
+	if res.Reload.Replicas != 2 || res.Reload.Iterations < 1 {
+		t.Fatalf("reload comparison shape: %+v", res.Reload)
+	}
+	if res.Reload.Binary.FileBytes <= 0 || res.Reload.Gob.FileBytes <= 0 {
+		t.Fatalf("reload snapshot sizes: %+v", res.Reload)
+	}
 	if err := ValidateServe(res); err != nil {
 		t.Fatalf("ValidateServe on a fresh run: %v", err)
 	}
@@ -64,6 +74,12 @@ func TestValidateServeRejectsMalformedArtifacts(t *testing.T) {
 				Shards: 1, Mode: "closed", Workers: 2,
 				Latency: LatencyStats{Count: 10, P50Micros: 1, P99Micros: 2, P999Micros: 3, MaxMicros: 4},
 			}},
+			Reload: &ReloadStats{
+				Replicas: 2, Iterations: 7,
+				Gob:      ReloadFormatStats{FileBytes: 1000, ReloadP50Micros: 50, ReloadMaxMicros: 60, HeapBytesPerReplica: 4096},
+				Binary:   ReloadFormatStats{FileBytes: 500, ReloadP50Micros: 5, ReloadMaxMicros: 6, HeapBytesPerReplica: 1024},
+				SpeedupX: 10,
+			},
 		}
 	}
 	if err := ValidateServe(good()); err != nil {
@@ -83,6 +99,13 @@ func TestValidateServeRejectsMalformedArtifacts(t *testing.T) {
 		{"bad shards", func(r *ServeResult) { r.Cells[0].Shards = 0 }, "invalid shard count"},
 		{"unordered percentiles", func(r *ServeResult) { r.Cells[0].Latency.P99Micros = 9999 }, "out of order"},
 		{"errors", func(r *ServeResult) { r.Cells[0].Latency.Errors = 3 }, "failed"},
+		{"no reload block", func(r *ServeResult) { r.Reload = nil }, "no reload comparison"},
+		{"no reload replicas", func(r *ServeResult) { r.Reload.Replicas = 0 }, "replicas"},
+		{"empty binary snapshot", func(r *ServeResult) { r.Reload.Binary.FileBytes = 0 }, "binary snapshot file is empty"},
+		{"zero gob p50", func(r *ServeResult) { r.Reload.Gob.ReloadP50Micros = 0 }, "latencies incoherent"},
+		{"reload max below p50", func(r *ServeResult) { r.Reload.Binary.ReloadMaxMicros = 1 }, "latencies incoherent"},
+		{"negative reload heap", func(r *ServeResult) { r.Reload.Gob.HeapBytesPerReplica = -1 }, "heap per replica negative"},
+		{"binary slower than gob", func(r *ServeResult) { r.Reload.SpeedupX = 0.5 }, "must not be slower"},
 	}
 	for _, tc := range cases {
 		r := good()

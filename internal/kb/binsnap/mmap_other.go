@@ -1,0 +1,19 @@
+//go:build !unix
+
+package binsnap
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile is the portability fallback for platforms without Unix mmap:
+// it reads the file into the heap. Queries behave identically; only the
+// page-cache sharing between replicas is lost.
+func mmapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package binsnap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: co-located
+// processes (or replicas in one process) opening the same snapshot file
+// share its pages through the OS page cache instead of holding private
+// copies. The returned release function unmaps; the file descriptor can
+// be closed immediately after mapping.
+func mmapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	if size == 0 {
+		// mmap(2) rejects zero-length mappings; an empty file fails header
+		// validation anyway, so hand back an empty slice and no release.
+		return []byte{}, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

@@ -1,0 +1,304 @@
+package binsnap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"driftclean/internal/kb"
+)
+
+// maxCount bounds every element count and ID so they fit the u32
+// columns.
+const maxCount = math.MaxUint32 - 1
+
+// WriteFile encodes k and publishes it at path atomically (temp file +
+// fsync + rename via kb.AtomicWriteFile): a crash or full disk
+// mid-write never leaves a torn snapshot where a good one used to be.
+func WriteFile(path string, k *kb.KB) error {
+	data, err := Encode(k)
+	if err != nil {
+		return err
+	}
+	return kb.AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// Write encodes k to w and returns the number of bytes written. The
+// whole image is assembled in memory first — the header's checksum
+// covers the entire file, so it cannot be streamed.
+func Write(w io.Writer, k *kb.KB) (int64, error) {
+	data, err := Encode(k)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	if err != nil {
+		return int64(n), fmt.Errorf("binsnap: writing snapshot: %w", err)
+	}
+	return int64(n), nil
+}
+
+// Encode serializes k into an in-memory binary snapshot image. The
+// encoding is deterministic: two KBs with identical exported state
+// produce byte-identical images.
+func Encode(k *kb.KB) ([]byte, error) {
+	exts, pairs := k.Export()
+	if len(exts) > maxCount || len(pairs) > maxCount {
+		return nil, fmt.Errorf("binsnap: KB too large for the u32 format: %d extractions, %d pairs", len(exts), len(pairs))
+	}
+
+	// String table: every distinct string, sorted, IDs = sorted rank.
+	set := make(map[string]struct{})
+	for i := range exts {
+		ex := &exts[i]
+		set[ex.Concept] = struct{}{}
+		for _, s := range ex.Candidates {
+			set[s] = struct{}{}
+		}
+		for _, s := range ex.Instances {
+			set[s] = struct{}{}
+		}
+		for _, s := range ex.Triggers {
+			set[s] = struct{}{}
+		}
+	}
+	for i := range pairs {
+		set[pairs[i].Concept] = struct{}{}
+		set[pairs[i].Instance] = struct{}{}
+	}
+	strs := make([]string, 0, len(set))
+	for s := range set {
+		strs = append(strs, s)
+	}
+	sort.Strings(strs)
+	if len(strs) > maxCount {
+		return nil, fmt.Errorf("binsnap: KB too large for the u32 format: %d distinct strings", len(strs))
+	}
+	id := make(map[string]uint32, len(strs))
+	blobLen := 0
+	for i, s := range strs {
+		id[s] = uint32(i)
+		blobLen += len(s)
+	}
+
+	b := newBuilder()
+
+	// String sections.
+	strOff := b.u32s(secStrOffsets, len(strs)+1)
+	blob := make([]byte, 0, blobLen)
+	for i, s := range strs {
+		strOff.set(i, uint32(len(blob)))
+		blob = append(blob, s...)
+	}
+	strOff.set(len(strs), uint32(len(blob)))
+	b.raw(secStrBlob, blob)
+
+	// Pair sections. Export returns pairs sorted by (concept, instance)
+	// name, and string IDs are name ranks, so the groups come out in
+	// ascending concept-ID order with instances ascending within each.
+	conceptIDs := []uint32{}
+	conceptPairStart := []uint32{}
+	pairInstance := b.u32s(secPairInstance, len(pairs))
+	pairCount := b.u32s(secPairCount, len(pairs))
+	pairFirst := b.u32s(secPairFirst, len(pairs))
+	pairExtStart := b.u32s(secPairExtStart, len(pairs)+1)
+	var pairExtIDs []uint32
+	pairIndex := make(map[kb.Pair]int, len(pairs))
+	activeByConcept := map[uint32]bool{}
+	prevConcept := uint32(math.MaxUint32)
+	for i := range pairs {
+		ps := &pairs[i]
+		cid := id[ps.Concept]
+		if cid != prevConcept {
+			conceptIDs = append(conceptIDs, cid)
+			conceptPairStart = append(conceptPairStart, uint32(i))
+			prevConcept = cid
+		}
+		if ps.Count < 0 || ps.Count > maxCount {
+			return nil, fmt.Errorf("binsnap: pair (%s isA %s) has count %d outside the u32 format", ps.Instance, ps.Concept, ps.Count)
+		}
+		if ps.FirstIter < 0 || ps.FirstIter > maxCount {
+			return nil, fmt.Errorf("binsnap: pair (%s isA %s) has first iteration %d outside the u32 format", ps.Instance, ps.Concept, ps.FirstIter)
+		}
+		pairInstance.set(i, id[ps.Instance])
+		pairCount.set(i, uint32(ps.Count))
+		pairFirst.set(i, uint32(ps.FirstIter))
+		pairExtStart.set(i, uint32(len(pairExtIDs)))
+		for _, exID := range ps.Extractions {
+			if exID < 0 || exID >= len(exts) {
+				return nil, fmt.Errorf("binsnap: pair (%s isA %s) references extraction %d of %d", ps.Instance, ps.Concept, exID, len(exts))
+			}
+			pairExtIDs = append(pairExtIDs, uint32(exID))
+		}
+		pairIndex[kb.Pair{Concept: ps.Concept, Instance: ps.Instance}] = i
+		if ps.Count > 0 {
+			activeByConcept[cid] = true
+		}
+	}
+	pairExtStart.set(len(pairs), uint32(len(pairExtIDs)))
+	b.u32Slice(secPairExtIDs, pairExtIDs)
+	b.u32Slice(secConceptIDs, conceptIDs)
+	conceptPairStart = append(conceptPairStart, uint32(len(pairs)))
+	b.u32Slice(secConceptPair, conceptPairStart)
+
+	// Extraction sections, plus the triggered-by lists rebuilt exactly
+	// as the live KB maintains them: appended in extraction-ID order.
+	extSentence := b.u32s(secExtSentence, len(exts))
+	extConcept := b.u32s(secExtConcept, len(exts))
+	extIter := b.u32s(secExtIter, len(exts))
+	extActive := make([]byte, len(exts))
+	candStart := b.u32s(secExtCandStart, len(exts)+1)
+	instStart := b.u32s(secExtInstStart, len(exts)+1)
+	trigStart := b.u32s(secExtTrigStart, len(exts)+1)
+	var candIDs, instIDs, trigIDs []uint32
+	trigLists := make([][]uint32, len(pairs))
+	for i := range exts {
+		ex := &exts[i]
+		if ex.ID != i {
+			return nil, fmt.Errorf("binsnap: extraction %d has ID %d", i, ex.ID)
+		}
+		if ex.SentenceID < 0 || ex.SentenceID > maxCount {
+			return nil, fmt.Errorf("binsnap: extraction %d has sentence ID %d outside the u32 format", i, ex.SentenceID)
+		}
+		if ex.Iteration < 0 || ex.Iteration > maxCount {
+			return nil, fmt.Errorf("binsnap: extraction %d has iteration %d outside the u32 format", i, ex.Iteration)
+		}
+		extSentence.set(i, uint32(ex.SentenceID))
+		extConcept.set(i, id[ex.Concept])
+		extIter.set(i, uint32(ex.Iteration))
+		if ex.Active {
+			extActive[i] = 1
+		}
+		candStart.set(i, uint32(len(candIDs)))
+		for _, s := range ex.Candidates {
+			candIDs = append(candIDs, id[s])
+		}
+		instStart.set(i, uint32(len(instIDs)))
+		for _, s := range ex.Instances {
+			instIDs = append(instIDs, id[s])
+		}
+		trigStart.set(i, uint32(len(trigIDs)))
+		for _, s := range ex.Triggers {
+			trigIDs = append(trigIDs, id[s])
+			pi, ok := pairIndex[kb.Pair{Concept: ex.Concept, Instance: s}]
+			if !ok {
+				return nil, fmt.Errorf("binsnap: extraction %d triggered by (%s isA %s), which is not a recorded pair", i, s, ex.Concept)
+			}
+			trigLists[pi] = append(trigLists[pi], uint32(i))
+		}
+	}
+	candStart.set(len(exts), uint32(len(candIDs)))
+	instStart.set(len(exts), uint32(len(instIDs)))
+	trigStart.set(len(exts), uint32(len(trigIDs)))
+	b.raw(secExtActive, extActive)
+	b.u32Slice(secExtCandIDs, candIDs)
+	b.u32Slice(secExtInstIDs, instIDs)
+	b.u32Slice(secExtTrigIDs, trigIDs)
+
+	pairTrigStart := b.u32s(secTrigStart, len(pairs)+1)
+	var pairTrigIDs []uint32
+	for i := range trigLists {
+		pairTrigStart.set(i, uint32(len(pairTrigIDs)))
+		pairTrigIDs = append(pairTrigIDs, trigLists[i]...)
+	}
+	pairTrigStart.set(len(pairs), uint32(len(pairTrigIDs)))
+	b.u32Slice(secTrigExtIDs, pairTrigIDs)
+
+	// Reverse index (instance → concepts of active pairs) and the
+	// active-concept list, both precomputed so Open does no O(KB) index
+	// builds. Iterating pairs in storage order keeps every per-instance
+	// concept list ascending.
+	revStart := b.u32s(secRevStart, len(strs)+1)
+	revLists := make([][]uint32, len(strs))
+	for i := range pairs {
+		if pairs[i].Count > 0 {
+			iid := id[pairs[i].Instance]
+			revLists[iid] = append(revLists[iid], id[pairs[i].Concept])
+		}
+	}
+	var revIDs []uint32
+	for i := range revLists {
+		revStart.set(i, uint32(len(revIDs)))
+		revIDs = append(revIDs, revLists[i]...)
+	}
+	revStart.set(len(strs), uint32(len(revIDs)))
+	b.u32Slice(secRevConceptIDs, revIDs)
+
+	active := []uint32{}
+	for _, cid := range conceptIDs {
+		if activeByConcept[cid] {
+			active = append(active, cid)
+		}
+	}
+	b.u32Slice(secActiveConcepts, active)
+
+	return b.finish(k.Stats(), len(strs), len(conceptIDs), len(pairs), len(exts))
+}
+
+// builder accumulates section payloads and assembles the final image.
+type builder struct {
+	secs [numSections][]byte
+}
+
+func newBuilder() *builder { return &builder{} }
+
+// u32Section is a fixed-length u32 column under construction.
+type u32Section struct{ b []byte }
+
+func (s u32Section) set(i int, v uint32) {
+	binary.LittleEndian.PutUint32(s.b[i*4:], v)
+}
+
+// u32s allocates a u32 column of n elements for a section.
+func (b *builder) u32s(sec, n int) u32Section {
+	b.secs[sec] = make([]byte, n*4)
+	return u32Section{b.secs[sec]}
+}
+
+// u32Slice stores a complete u32 column for a section.
+func (b *builder) u32Slice(sec int, vals []uint32) {
+	s := b.u32s(sec, len(vals))
+	for i, v := range vals {
+		s.set(i, v)
+	}
+}
+
+// raw stores raw bytes for a section.
+func (b *builder) raw(sec int, data []byte) { b.secs[sec] = data }
+
+// finish lays the header and sections out into the final image and
+// stamps the checksum.
+func (b *builder) finish(stats kb.Stats, nStrings, nConcepts, nPairs, nExts int) ([]byte, error) {
+	total := headerSize
+	offs := make([]int, numSections)
+	for i, sec := range b.secs {
+		total = (total + 7) &^ 7 // 8-byte section alignment
+		offs[i] = total
+		total += len(sec)
+	}
+	data := make([]byte, total)
+	copy(data[offMagic:], Magic)
+	le := binary.LittleEndian
+	le.PutUint32(data[offVersion:], FormatVersion)
+	le.PutUint32(data[offFlags:], 0)
+	le.PutUint64(data[offStats:], uint64(stats.DistinctPairs))
+	le.PutUint64(data[offStats+8:], uint64(stats.TotalCount))
+	le.PutUint64(data[offStats+16:], uint64(stats.Concepts))
+	le.PutUint64(data[offStats+24:], uint64(stats.ActiveExtractions))
+	le.PutUint32(data[offCounts:], uint32(nStrings))
+	le.PutUint32(data[offCounts+4:], uint32(nConcepts))
+	le.PutUint32(data[offCounts+8:], uint32(nPairs))
+	le.PutUint32(data[offCounts+12:], uint32(nExts))
+	for i, sec := range b.secs {
+		le.PutUint64(data[offSections+i*16:], uint64(offs[i]))
+		le.PutUint64(data[offSections+i*16+8:], uint64(len(sec)))
+		copy(data[offs[i]:], sec)
+	}
+	le.PutUint32(data[offChecksum:], checksumOf(data))
+	return data, nil
+}

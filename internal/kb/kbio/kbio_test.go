@@ -1,0 +1,127 @@
+package kbio
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"driftclean/internal/kb"
+	"driftclean/internal/kb/binsnap"
+)
+
+func testKB() *kb.KB {
+	k := kb.New()
+	k.AddExtraction(0, "animal", nil, []string{"chicken", "dog"}, nil, 1)
+	k.AddExtraction(1, "animal", nil, []string{"pork"}, []string{"chicken"}, 2)
+	id := k.AddExtraction(2, "animal", nil, []string{"cheese"}, []string{"dog"}, 2)
+	k.RollbackExtractions([]int{id})
+	return k
+}
+
+// saveBoth writes the same KB in both formats and returns their paths.
+func saveBoth(t *testing.T, k *kb.KB) (gobPath, binPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	gobPath = filepath.Join(dir, "kb.gob")
+	binPath = filepath.Join(dir, "kb.bin")
+	if err := k.SaveFile(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := binsnap.WriteFile(binPath, k); err != nil {
+		t.Fatal(err)
+	}
+	return gobPath, binPath
+}
+
+func TestDetect(t *testing.T) {
+	gobPath, binPath := saveBoth(t, testKB())
+	if f, err := Detect(gobPath); err != nil || f != FormatGob {
+		t.Fatalf("Detect(gob) = %v, %v", f, err)
+	}
+	if f, err := Detect(binPath); err != nil || f != FormatBinary {
+		t.Fatalf("Detect(binary) = %v, %v", f, err)
+	}
+	short := filepath.Join(t.TempDir(), "short")
+	if err := os.WriteFile(short, []byte("ab"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := Detect(short); err != nil || f != FormatGob {
+		t.Fatalf("Detect(short) = %v, %v", f, err)
+	}
+	if _, err := Detect(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("Detect of a missing file should fail")
+	}
+}
+
+func TestFreezeFileBothFormatsAgree(t *testing.T) {
+	k := testKB()
+	gobPath, binPath := saveBoth(t, k)
+	gs, gf, err := FreezeFile(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, bf, err := FreezeFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf != FormatGob || bf != FormatBinary {
+		t.Fatalf("formats %v, %v", gf, bf)
+	}
+	if gs.Stats() != bs.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", gs.Stats(), bs.Stats())
+	}
+	if !reflect.DeepEqual(gs.Concepts(), bs.Concepts()) {
+		t.Fatal("concepts differ between formats")
+	}
+	for _, c := range gs.Concepts() {
+		if !reflect.DeepEqual(gs.Instances(c), bs.Instances(c)) {
+			t.Fatalf("instances of %q differ", c)
+		}
+	}
+	if bs.Generation() <= gs.Generation() {
+		t.Fatal("freeze generations not monotonic")
+	}
+}
+
+func TestLoadKBBothFormats(t *testing.T) {
+	k := testKB()
+	gobPath, binPath := saveBoth(t, k)
+	for _, tc := range []struct {
+		path string
+		want Format
+	}{{gobPath, FormatGob}, {binPath, FormatBinary}} {
+		got, format, err := LoadKB(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if format != tc.want {
+			t.Fatalf("format = %v, want %v", format, tc.want)
+		}
+		if !reflect.DeepEqual(got.Pairs(), k.Pairs()) {
+			t.Fatalf("%v: pairs differ after load", tc.want)
+		}
+		if got.Stats() != k.Stats() {
+			t.Fatalf("%v: stats differ after load", tc.want)
+		}
+	}
+}
+
+func TestFreezeFileErrors(t *testing.T) {
+	if _, _, err := FreezeFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(garbage, []byte("DCKBSNP1 but then garbage follows"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FreezeFile(garbage); err == nil {
+		t.Fatal("corrupt binary header should fail")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatGob.String() != "gob" || FormatBinary.String() != "binary" {
+		t.Fatal("format names changed")
+	}
+}

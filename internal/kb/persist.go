@@ -27,24 +27,51 @@ type pairState struct {
 
 const snapshotVersion = 1
 
-// WriteTo serializes the KB (including rolled-back extractions and their
-// provenance) to w.
-func (kb *KB) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
-	snap := snapshot{Version: snapshotVersion}
-	snap.Extractions = make([]Extraction, len(kb.extractions))
+// PairState is the exported serializable form of one pair: identity,
+// active support count, first supporting iteration and the IDs of every
+// supporting extraction (including rolled-back ones). Alternative
+// snapshot encoders (internal/kb/binsnap) move KB state through
+// Export/Build as slices of these.
+type PairState struct {
+	Concept, Instance string
+	Count, FirstIter  int
+	Extractions       []int
+}
+
+// Export returns the KB's full serializable state: every extraction in
+// ID order (struct copies whose slices share backing arrays with the
+// KB) and every pair — including rolled-back, zero-count ones — sorted
+// by concept then instance. Callers must treat the result as read-only;
+// it is the single source every snapshot encoder serializes from, so
+// two formats written from one KB describe identical state.
+func (kb *KB) Export() ([]Extraction, []PairState) {
+	exts := make([]Extraction, len(kb.extractions))
 	for i, ex := range kb.extractions {
-		snap.Extractions[i] = *ex
+		exts[i] = *ex
 	}
-	for _, p := range kb.sortedPairKeys() {
+	keys := kb.sortedPairKeys()
+	pairs := make([]PairState, 0, len(keys))
+	for _, p := range keys {
 		info := kb.pairs[p]
-		snap.Pairs = append(snap.Pairs, pairState{
+		pairs = append(pairs, PairState{
 			Concept:     p.Concept,
 			Instance:    p.Instance,
 			Count:       info.Count,
 			FirstIter:   info.FirstIter,
 			Extractions: info.Extractions,
 		})
+	}
+	return exts, pairs
+}
+
+// WriteTo serializes the KB (including rolled-back extractions and their
+// provenance) to w.
+func (kb *KB) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	exts, pairs := kb.Export()
+	snap := snapshot{Version: snapshotVersion, Extractions: exts}
+	for _, ps := range pairs {
+		snap.Pairs = append(snap.Pairs, pairState(ps))
 	}
 	if err := gob.NewEncoder(cw).Encode(snap); err != nil {
 		return cw.n, fmt.Errorf("kb: encoding snapshot: %w", err)
@@ -76,10 +103,24 @@ func Read(r io.Reader) (*KB, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("kb: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
+	pairs := make([]PairState, len(snap.Pairs))
+	for i, ps := range snap.Pairs {
+		pairs[i] = PairState(ps)
+	}
+	return Build(snap.Extractions, pairs)
+}
+
+// Build reconstructs a KB from exported state (see Export), validating
+// it the same way Read validates a gob snapshot: extraction IDs must be
+// dense and in order, pair extraction references in range, counts
+// nonnegative, pairs unique. The trigger index is rebuilt from the
+// extraction records, exactly as the live KB maintains it. Build takes
+// ownership of the argument slices.
+func Build(extractions []Extraction, pairs []PairState) (*KB, error) {
 	kb := New()
-	kb.extractions = make([]*Extraction, len(snap.Extractions))
-	for i := range snap.Extractions {
-		ex := snap.Extractions[i]
+	kb.extractions = make([]*Extraction, len(extractions))
+	for i := range extractions {
+		ex := extractions[i]
 		if ex.ID != i {
 			return nil, fmt.Errorf("kb: extraction %d has ID %d", i, ex.ID)
 		}
@@ -91,7 +132,7 @@ func Read(r io.Reader) (*KB, error) {
 			kb.triggeredBy[p] = append(kb.triggeredBy[p], ex.ID)
 		}
 	}
-	for _, ps := range snap.Pairs {
+	for _, ps := range pairs {
 		p := Pair{ps.Concept, ps.Instance}
 		if _, dup := kb.pairs[p]; dup {
 			return nil, fmt.Errorf("kb: snapshot lists pair %s twice", p)
@@ -123,16 +164,18 @@ func Read(r io.Reader) (*KB, error) {
 // never leave a torn snapshot where a good one used to be — the old
 // file survives intact until the new one is durably complete.
 func (kb *KB) SaveFile(path string) error {
-	return atomicWriteFile(path, func(w io.Writer) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
 		_, err := kb.WriteTo(w)
 		return err
 	})
 }
 
-// atomicWriteFile streams write's output into path via a same-directory
+// AtomicWriteFile streams write's output into path via a same-directory
 // temp file, fsync and rename. On any failure the temp file is removed
-// and the previous contents of path are untouched.
-func atomicWriteFile(path string, write func(io.Writer) error) error {
+// and the previous contents of path are untouched. Every snapshot
+// format the repo persists (gob here, the binary columnar format in
+// internal/kb/binsnap) publishes through this one discipline.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("kb: creating temp snapshot: %w", err)

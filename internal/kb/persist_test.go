@@ -144,7 +144,7 @@ func TestSaveFileFailedWriteLeavesTargetIntact(t *testing.T) {
 	}
 
 	boom := errors.New("disk full")
-	err = atomicWriteFile(path, func(w io.Writer) error {
+	err = AtomicWriteFile(path, func(w io.Writer) error {
 		// A partial write followed by failure — the torn-snapshot shape.
 		if _, err := w.Write([]byte("torn")); err != nil {
 			return err

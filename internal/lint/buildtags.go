@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"go/build/constraint"
+	"runtime"
+	"strings"
+)
+
+// Build-constraint filtering for the loader. The go tool selects one
+// file set per platform before compiling; a loader that parses every
+// .go file in a directory instead sees both halves of an OS-split pair
+// (mmap_unix.go / mmap_other.go) and fails type-checking on the
+// redeclarations. fileIncluded applies the same two selection rules the
+// toolchain does — //go:build lines and _GOOS/_GOARCH filename
+// suffixes — evaluated for the host platform, which is exactly the file
+// set the binaries under analysis are built from.
+
+// knownOS and knownArch are the filename-suffix vocabularies; a final
+// "_token" only acts as a constraint when the token is one of these
+// (mmap_unix.go has no filename constraint: "unix" works only in
+// //go:build lines, mirroring the go tool).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixOS is the set of GOOS values the "unix" build tag matches.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// fileIncluded reports whether the named file with the given source is
+// part of the package when built for the host platform.
+func fileIncluded(name string, src []byte) bool {
+	if !filenameMatchesHost(name) {
+		return false
+	}
+	expr := goBuildConstraint(src)
+	if expr == nil {
+		return true
+	}
+	return expr.Eval(hostTag)
+}
+
+// filenameMatchesHost applies the *_GOOS.go / *_GOARCH.go /
+// *_GOOS_GOARCH.go filename rules against the host platform.
+func filenameMatchesHost(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if n := len(parts); n >= 3 && knownOS[parts[n-2]] && knownArch[parts[n-1]] {
+		return parts[n-2] == runtime.GOOS && parts[n-1] == runtime.GOARCH
+	} else if n >= 2 && knownArch[parts[n-1]] {
+		return parts[n-1] == runtime.GOARCH
+	} else if n >= 2 && knownOS[parts[n-1]] {
+		return parts[n-1] == runtime.GOOS
+	}
+	return true
+}
+
+// goBuildConstraint returns the file's //go:build expression, or nil if
+// it has none. Only lines above the package clause count, per the spec;
+// legacy // +build lines are ignored (the repo has none, and a file
+// carrying only the legacy form simply goes unfiltered).
+func goBuildConstraint(src []byte) constraint.Expr {
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			return nil
+		}
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return nil
+			}
+			return expr
+		}
+	}
+	return nil
+}
+
+// hostTag is the truth assignment for one build tag on the host
+// platform: GOOS, GOARCH, the "unix" umbrella, and go1.N release tags
+// (always satisfied — the toolchain compiling this module is at least
+// the version go.mod demands). Everything else, including "cgo" and
+// custom -tags, is false, matching how the repo's binaries are built.
+func hostTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	return strings.HasPrefix(tag, "go1.")
+}

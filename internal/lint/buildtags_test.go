@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestFileIncluded(t *testing.T) {
+	goos, goarch := runtime.GOOS, runtime.GOARCH
+	otherOS := "windows"
+	if goos == "windows" {
+		otherOS = "linux"
+	}
+	otherArch := "s390x"
+	if goarch == "s390x" {
+		otherArch = "amd64"
+	}
+
+	cases := []struct {
+		name string
+		file string
+		src  string
+		want bool
+	}{
+		{"plain file", "a.go", "package p\n", true},
+		{"host goos tag", "a.go", fmt.Sprintf("//go:build %s\n\npackage p\n", goos), true},
+		{"foreign goos tag", "a.go", fmt.Sprintf("//go:build %s\n\npackage p\n", otherOS), false},
+		{"negated host", "a.go", fmt.Sprintf("//go:build !%s\n\npackage p\n", goos), false},
+		{"negated foreign", "a.go", fmt.Sprintf("//go:build !%s\n\npackage p\n", otherOS), true},
+		{"host goarch tag", "a.go", fmt.Sprintf("//go:build %s\n\npackage p\n", goarch), true},
+		{"or with foreign", "a.go", fmt.Sprintf("//go:build %s || %s\n\npackage p\n", otherOS, goos), true},
+		{"and with foreign", "a.go", fmt.Sprintf("//go:build %s && %s\n\npackage p\n", otherOS, goos), false},
+		{"unknown custom tag", "a.go", "//go:build sometag\n\npackage p\n", false},
+		{"negated custom tag", "a.go", "//go:build !sometag\n\npackage p\n", true},
+		{"go version tag", "a.go", "//go:build go1.22\n\npackage p\n", true},
+		{"constraint after package clause ignored", "a.go",
+			fmt.Sprintf("package p\n\n//go:build %s\n", otherOS), true},
+		{"host goos suffix", fmt.Sprintf("f_%s.go", goos), "package p\n", true},
+		{"foreign goos suffix", fmt.Sprintf("f_%s.go", otherOS), "package p\n", false},
+		{"foreign goarch suffix", fmt.Sprintf("f_%s.go", otherArch), "package p\n", false},
+		{"foreign goos_goarch suffix", fmt.Sprintf("f_%s_%s.go", otherOS, goarch), "package p\n", false},
+		{"host goos_goarch suffix", fmt.Sprintf("f_%s_%s.go", goos, goarch), "package p\n", true},
+		{"unix is not a filename constraint", "mmap_unix.go", "package p\n", true},
+		{"non-constraint suffix", "kb_store.go", "package p\n", true},
+	}
+	for _, tc := range cases {
+		if got := fileIncluded(tc.file, []byte(tc.src)); got != tc.want {
+			t.Errorf("%s: fileIncluded(%q) = %v, want %v", tc.name, tc.file, got, tc.want)
+		}
+	}
+
+	// The repo's real OS-split pair: exactly one half may be selected,
+	// whichever platform the tests run on.
+	unixSrc := []byte("//go:build unix\n\npackage p\n")
+	otherSrc := []byte("//go:build !unix\n\npackage p\n")
+	if fileIncluded("mmap_unix.go", unixSrc) == fileIncluded("mmap_other.go", otherSrc) {
+		t.Error("unix and !unix halves were both selected (or both dropped)")
+	}
+}

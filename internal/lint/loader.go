@@ -106,7 +106,18 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s: %w", path, err)
+		}
+		// Apply build constraints the way the toolchain does, so an
+		// OS-split pair (file_unix.go / file_other.go) contributes only
+		// the host platform's half and type-checks cleanly.
+		if !fileIncluded(name, src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}

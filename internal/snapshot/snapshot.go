@@ -28,21 +28,27 @@ var generation atomic.Uint64
 // Snapshot is an immutable view of a KB frozen at a point in time. All
 // methods are safe for concurrent use by any number of goroutines.
 //
-// A snapshot is either a full view (produced by Freeze) or a
-// concept-partitioned shard view (produced by Partition): a shard view
-// shares the parent's underlying KB clone but answers only for the
+// A snapshot is either a full view (produced by Freeze or FreezeOwned)
+// or a concept-partitioned shard view (produced by Partition): a shard
+// view shares the parent's underlying KB view but answers only for the
 // concepts it owns, so N shard views of one freeze cost N index slices,
 // not N KB copies.
 type Snapshot struct {
 	gen uint64
-	k   *kb.KB // private deep clone; never mutated after Freeze returns
+	// k is the backing read-only view: a private deep clone of a heap
+	// KB, or an inherently immutable mmap-backed binary snapshot view
+	// (internal/kb/binsnap). It is never mutated after the freeze.
+	k kb.View
 
 	// Precomputed at freeze: aggregates every query path touches.
 	stats    kb.Stats
 	concepts []string
 	// byInstance is the reverse index instance → concepts, so
 	// ConceptsOfInstance is a map lookup instead of the full scan the
-	// mutable KB performs.
+	// mutable KB performs. nil means the backing view answers
+	// ConceptsOfInstance natively at lookup cost (the binary snapshot
+	// stores the reverse index on disk) and the map would be pure
+	// duplication.
 	byInstance map[string][]string
 	// owned, when non-nil, restricts the view to the concepts a
 	// Partition call assigned to this shard; reads about any other
@@ -56,16 +62,29 @@ type Snapshot struct {
 // instance index are precomputed here so the hottest read paths do no
 // work proportional to KB size.
 func Freeze(source *kb.KB) *Snapshot {
-	k := source.Clone()
+	return FreezeOwned(source.Clone())
+}
+
+// FreezeOwned freezes a view the caller hands over without cloning it:
+// the caller promises nothing will ever mutate it again. This is the
+// zero-copy path for views that are immutable by construction — a KB
+// just decoded from disk that nothing else references, or an
+// mmap-backed binary snapshot view — and the reason a binary snapshot
+// reload costs O(1) heap work regardless of KB size.
+func FreezeOwned(v kb.View) *Snapshot {
 	s := &Snapshot{
-		gen:        generation.Add(1),
-		k:          k,
-		stats:      k.Stats(),
-		concepts:   k.Concepts(),
-		byInstance: make(map[string][]string),
+		gen:      generation.Add(1),
+		k:        v,
+		stats:    v.Stats(),
+		concepts: v.Concepts(),
 	}
-	for _, p := range k.Pairs() {
-		s.byInstance[p.Instance] = append(s.byInstance[p.Instance], p.Concept)
+	if k, ok := v.(*kb.KB); ok {
+		// The mutable KB answers ConceptsOfInstance with a full scan;
+		// precompute the reverse index once so serving lookups are O(1).
+		s.byInstance = make(map[string][]string)
+		for _, p := range k.Pairs() {
+			s.byInstance[p.Instance] = append(s.byInstance[p.Instance], p.Concept)
+		}
 	}
 	return s
 }
@@ -141,11 +160,15 @@ func (s *Snapshot) SubInstances(concept, instance string) []string {
 }
 
 // ConceptsOfInstance returns all concepts holding the instance, sorted.
-// Unlike the mutable KB's full scan this is a single map lookup against
-// the reverse index built at freeze. The returned slice is shared and
-// must not be modified.
+// Unlike the mutable KB's full scan this is a single lookup — against
+// the reverse index built at freeze, or directly against a backing view
+// that stores its reverse index natively. The returned slice is shared
+// and must not be modified.
 func (s *Snapshot) ConceptsOfInstance(instance string) []string {
-	return s.byInstance[instance]
+	if s.byInstance != nil {
+		return s.byInstance[instance]
+	}
+	return s.k.ConceptsOfInstance(instance)
 }
 
 // DriftDepth returns, for every active pair of a concept, the length of
@@ -213,10 +236,8 @@ func (s *Snapshot) Partition(n int, owner func(concept string) int) []*Snapshot 
 	// Active extractions are concept-local, so each one belongs to
 	// exactly the shard owning its concept — including extractions whose
 	// concept no longer has active pairs (owner is still total).
-	for id := 0; id < s.k.NumExtractions(); id++ {
-		if ex := s.k.Extraction(id); ex.Active {
-			parts[owner(ex.Concept)].stats.ActiveExtractions++
-		}
-	}
+	s.k.ScanActiveExtractions(func(concept string) {
+		parts[owner(concept)].stats.ActiveExtractions++
+	})
 	return parts
 }

@@ -29,8 +29,9 @@ go vet ./...
 echo "==> driftlint ./... (suppression budget: 6)"
 go run ./cmd/driftlint -maxignores 6 ./...
 
-echo "==> driftlint (serving packages)"
-go run ./cmd/driftlint ./internal/snapshot/... ./internal/serve/... ./cmd/driftserve/... ./cmd/kbquery/...
+echo "==> driftlint (serving + snapshot-format packages)"
+go run ./cmd/driftlint ./internal/snapshot/... ./internal/serve/... ./internal/kb/... \
+  ./cmd/driftserve/... ./cmd/kbquery/... ./cmd/kbsnap/...
 
 echo "==> go test -race (serving: snapshot swap under concurrent readers)"
 go test -race -run 'TestSwapUnderConcurrentReaders|TestConcurrentReads|TestCoalescing' \
@@ -48,10 +49,14 @@ go test -race ./internal/fault
 go test -race -run 'TestChaosDisabledFaultsAreNoOp|TestChaosPanicSurfacesAsReportError' .
 go test -race -run 'TestReload|TestQuery' ./internal/serve ./cmd/driftserve
 
-echo "==> fuzz seed corpus (hearst parser + lint CFG + top-k eigensolver, seeds only)"
+echo "==> fuzz seed corpus (hearst parser + lint CFG + top-k eigensolver + binary snapshot decoder, seeds only)"
 go test -run 'FuzzParseSentence' ./internal/hearst
 go test -run 'FuzzCFG' ./internal/lint
 go test -run 'FuzzEigenSymTopK' ./internal/linalg
+go test -run 'FuzzDecode' ./internal/kb/binsnap
+
+echo "==> snapshot format differential (gob vs binary mmap, byte-identical /v1/* responses)"
+go test -race -run 'TestFormatsServeIdenticalResponses' ./internal/serve
 
 echo "==> go test -race ./..."
 go test -race ./...
@@ -75,8 +80,14 @@ go run ./cmd/driftbench -smoke -check BENCH_pipeline.json -out BENCH_pipeline.sm
 echo "==> driftbench ingest smoke (incremental vs from-scratch fingerprint identity)"
 go run ./cmd/driftbench -scales ingest-smoke -check BENCH_pipeline.json -out BENCH_ingest.smoke.json
 
-echo "==> driftload smoke (scatter-gather byte-identity across shard counts + latency sweep)"
+echo "==> driftload smoke (scatter-gather byte-identity across shard counts + latency sweep + snapshot reload comparison)"
 go run ./cmd/driftload -smoke -out BENCH_serve.smoke.json
 go run ./cmd/driftload -validate BENCH_serve.smoke.json
+
+# The committed full-sweep artifact carries the headline reload claim:
+# at scale, reloading the binary snapshot must be >= 10x faster than
+# decoding the gob stream.
+echo "==> committed serving artifact (schema + 10x binary reload floor)"
+go run ./cmd/driftload -validate BENCH_serve.json -minreload 10
 
 echo "verify: all gates passed"
